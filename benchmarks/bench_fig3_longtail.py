@@ -1,0 +1,14 @@
+"""Fig. 3: long-tail item popularity distribution."""
+
+from repro.experiments import fig3_longtail
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_longtail(benchmark, archive):
+    table = run_once(benchmark, lambda: fig3_longtail(datasets=("ml-100k", "az")))
+    archive("fig3_longtail", table)
+    # Reproduction check: the popular head is strongly over-represented.
+    for row in table.rows:
+        share = float(row[3].rstrip("%"))
+        assert share > 30.0

@@ -1,0 +1,25 @@
+"""Fig. 5: effect of the malicious ratio and mined popular set size."""
+
+from repro.experiments import fig5_ratio_and_n
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_fig5_ratio_and_n(benchmark, archive):
+    table = run_once(
+        benchmark,
+        lambda: fig5_ratio_and_n(
+            ratios=(0.01, 0.05, 0.10), popular_sizes=(5, 10, 50)
+        ),
+    )
+    archive("fig5_ratio_n", table)
+    ratio_rows = [row for row in table.rows if row[0] == "ratio"]
+    # Reproduction check: the defense keeps ER collapsed at every ratio.
+    for row in ratio_rows:
+        assert _er(row[4]) < 15.0 and _er(row[5]) < 15.0
+    # Larger attacker share never hurts the undefended UEA badly.
+    assert _er(ratio_rows[-1][3]) >= 0.5 * _er(ratio_rows[0][3])

@@ -1,0 +1,17 @@
+"""Fig. 6a: ER@10 trend over communication rounds (IPE vs UEA)."""
+
+from repro.experiments import fig6a_trend
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6a_trend(benchmark, archive):
+    table = run_once(
+        benchmark, lambda: fig6a_trend(rounds=300, eval_every=50)
+    )
+    archive("fig6a_trend", table, fig_id="6a")
+    series = {row[0]: [float(x) for x in row[1:]] for row in table.rows}
+    # Reproduction check (Fig. 6a shape): UEA sustains exposure at least
+    # as well as IPE in the later training stages.
+    late = slice(2, None)
+    assert sum(series["pieck_uea"][late]) >= 0.8 * sum(series["pieck_ipe"][late])

@@ -1,0 +1,17 @@
+"""Fig. 6b: per-round wall-clock cost of attacks and defense."""
+
+from repro.experiments import fig6b_cost
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6b_cost(benchmark, archive):
+    table = run_once(benchmark, lambda: fig6b_cost(rounds=15))
+    archive("fig6b_cost", table, fig_id="6b")
+    for row in table.rows:
+        clean, ipe, uea, defense = (float(x) for x in row[1:])
+        # Reproduction checks: attack overhead is small; the defense
+        # costs more than the attacks but stays the same order.
+        assert ipe < 3.0 * clean + 0.05
+        assert uea < 3.0 * clean + 0.05
+        assert defense < 20.0 * clean + 0.5

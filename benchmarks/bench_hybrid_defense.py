@@ -1,0 +1,48 @@
+"""Extension bench: the paper's future-work hybrid defense.
+
+Section VII proposes combining server-side and client-side strategies;
+this ablation compares NormBound alone, regularization alone, and the
+hybrid of both against PIECK-UEA on MF-FRS.
+
+Measured finding (recorded in EXPERIMENTS.md): the naive composition is
+*worse* than the client-side defense alone — NormBound clips the benign
+clients' regularization gradients along with everything else, blunting
+exactly the signal that contains the attack. Composing defenses needs
+coordination, which is presumably why the paper leaves it as future
+work. The assertions below encode this negative result.
+"""
+
+from repro.experiments import experiment, run_cell
+from repro.experiments.reporting import TableResult
+from repro.datasets.loaders import load_dataset
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def _build() -> TableResult:
+    table = TableResult(
+        "Extension: hybrid (client + server) defense vs PIECK-UEA",
+        ["Defense", "ER@10 / HR@10"],
+    )
+    shared = load_dataset(experiment("ml-100k", "mf", seed=0).dataset)
+    for defense in ("none", "norm_bound", "regularization", "hybrid"):
+        config = experiment(
+            "ml-100k", "mf", attack="pieck_uea", defense=defense, seed=0
+        )
+        table.add_row(defense, str(run_cell(config, dataset=shared)))
+    return table
+
+
+def test_hybrid_defense(benchmark, archive):
+    table = run_once(benchmark, _build)
+    archive("hybrid_defense", table)
+    rows = {row[0]: row[1] for row in table.rows}
+    # The hybrid still protects relative to no defense at all ...
+    assert _er(rows["hybrid"]) < _er(rows["none"])
+    # ... but naive composition is NOT better than the client-side
+    # defense alone: NormBound clips the defenders' gradients too.
+    assert _er(rows["regularization"]) <= _er(rows["hybrid"]) + 5.0

@@ -1,0 +1,43 @@
+"""Ablation: Algorithm 1's Δ-Norm accumulation window R-tilde.
+
+DESIGN.md calls out the accumulation window as a design choice: the
+paper fixes R-tilde = 2 ("a relatively small yet practically useful
+value"). This ablation mines the popular set with windows 1/2/4/8 on
+the same clean run and measures the popular share of the mined top-N —
+confirming the paper's choice: even a single accumulated Δ-Norm ranks
+the head items far above their base rate, and the tiny default window
+already captures most of the achievable precision while letting the
+attacker start poisoning after just three sampled rounds.
+"""
+
+from repro.analysis import mining_window_study
+from repro.experiments import experiment
+from repro.experiments.reporting import TableResult
+
+from benchmarks.conftest import run_once
+
+WINDOWS = (1, 2, 4, 8)
+
+
+def _build() -> dict[int, float]:
+    return mining_window_study(
+        experiment("ml-100k", "mf", seed=0), windows=WINDOWS
+    )
+
+
+def test_mining_window_ablation(benchmark, archive):
+    shares = run_once(benchmark, _build)
+    table = TableResult(
+        "Ablation: mined popular share vs accumulation window R-tilde",
+        ["R-tilde", "popular share of mined top-10"],
+    )
+    for window in WINDOWS:
+        table.add_row(str(window), f"{100 * shares[window]:.0f}%")
+    archive("mining_window", table)
+
+    # Every window beats the 15% head base rate by a wide margin.
+    assert all(share > 0.45 for share in shares.values())
+    # The paper's default R-tilde = 2 is already close to saturation.
+    assert shares[2] >= 0.6
+    # Longer accumulation never hurts materially (monotone up to noise).
+    assert shares[8] >= shares[1] - 0.1

@@ -1,0 +1,54 @@
+"""Extension bench: seed stability of the headline claims.
+
+The paper's Tables III/IV report single runs. This bench re-checks the
+three headline claims across independent seeds (each reseeding dataset
+synthesis, initialisation, sampling and attacker randomness):
+
+1. PIECK-UEA raises the target's exposure far above the clean run;
+2. the paper's client-side regularization defense collapses it;
+3. the attack leaves HR essentially untouched (stealth).
+
+The assertions require the claims to hold for *every* seed — sign
+stability — not merely on average.
+"""
+
+from repro.experiments import sweep_seeds
+from repro.experiments.reporting import TableResult
+
+from benchmarks.conftest import run_once
+
+SEEDS = (0, 1, 2)
+
+
+def _build() -> dict[str, object]:
+    return {
+        "clean": sweep_seeds("ml-100k", "mf", seeds=SEEDS),
+        "attacked": sweep_seeds(
+            "ml-100k", "mf", attack="pieck_uea", seeds=SEEDS
+        ),
+        "defended": sweep_seeds(
+            "ml-100k", "mf", attack="pieck_uea", defense="regularization",
+            seeds=SEEDS,
+        ),
+    }
+
+
+def test_seed_stability(benchmark, archive):
+    sweeps = run_once(benchmark, _build)
+    table = TableResult(
+        f"Extension: seed stability over seeds {SEEDS}",
+        ["Scenario", "ER@10 mean ± std [min, max] / HR@10 mean ± std"],
+    )
+    for name, sweep in sweeps.items():
+        table.add_row(name, str(sweep))
+    archive("seed_stability", table)
+
+    clean, attacked, defended = (
+        sweeps["clean"], sweeps["attacked"], sweeps["defended"]
+    )
+    # 1. The attack works at every seed, with a wide margin.
+    assert attacked.er_min > clean.er_max + 30.0
+    # 2. The defense holds at every seed.
+    assert defended.er_max < 25.0
+    # 3. Stealth: the attacked HR stays within a few points of clean.
+    assert abs(attacked.hr_mean - clean.hr_mean) < 5.0

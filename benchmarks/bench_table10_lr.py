@@ -1,0 +1,24 @@
+"""Table X: inconsistent client/server learning rates (supplementary D)."""
+
+from repro.experiments import table10_learning_rates
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def _hr(cell: str) -> float:
+    return float(cell.split("/")[1])
+
+
+def test_table10_learning_rates(benchmark, archive):
+    table = run_once(benchmark, table10_learning_rates)
+    archive("table10_lr", table)
+    rows = {(row[0], row[1]): row[2] for row in table.rows}
+    consistent = "eta_i = eta (1.0)"
+    # Reproduction checks: mismatched rates hurt HR; the attack stays
+    # effective in the well-configured FRS.
+    assert _hr(rows[("eta_i = 1e-2", "NoAttack")]) < _hr(rows[(consistent, "NoAttack")])
+    assert _er(rows[(consistent, "PIECK-UEA")]) > _er(rows[(consistent, "NoAttack")])

@@ -1,0 +1,20 @@
+"""Table XI: BPR training loss (supplementary E)."""
+
+from repro.experiments import table11_bpr_loss
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table11_bpr_loss(benchmark, archive):
+    table = run_once(benchmark, table11_bpr_loss)
+    archive("table11_bpr", table)
+    rows = {(row[0], row[1]): row[2:] for row in table.rows}
+    # Reproduction checks: attacks transfer to BPR; the defense holds.
+    assert _er(rows[("PIECK-UEA", "NoDefense")][1]) > _er(
+        rows[("NoAttack", "NoDefense")][1]
+    )
+    assert _er(rows[("PIECK-UEA", "ours")][1]) < 20.0

@@ -1,0 +1,16 @@
+"""Table II: PKL / UCR closeness of popular items and users."""
+
+from repro.experiments import table2_pkl_ucr
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_pkl_ucr(benchmark, archive):
+    table = run_once(
+        benchmark,
+        lambda: table2_pkl_ucr(popular_sizes=(1, 10, 50)),
+    )
+    archive("table2_pkl_ucr", table)
+    # Reproduction check: UCR rises quickly with N (paper: 0.98 at N=10).
+    ucr_row = [r for r in table.rows if r[0] == "UCR"][0]
+    assert float(ucr_row[3]) > 0.8

@@ -1,0 +1,51 @@
+"""Table IV: defense comparison against the top-3 attacks."""
+
+from repro.experiments import table4_defenses
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table4_defenses_mf(benchmark, archive):
+    table = run_once(
+        benchmark,
+        lambda: table4_defenses(model_kinds=("mf",)),
+    )
+    archive("table4_defenses_mf", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Reproduction checks: robust aggregation fails to stop PIECK-UEA
+    # (column 2) while the paper's defense collapses it.
+    undefended = _er(rows["NoDefense"][2])
+    assert _er(rows["ours"][2]) < 0.2 * max(undefended, 1.0)
+    failed = [
+        name
+        for name in ("Median", "TrimmedMean", "Krum", "MultiKrum", "Bulyan", "NormBound")
+        if _er(rows[name][2]) > 0.5 * undefended
+    ]
+    assert len(failed) >= 2, f"expected several robust defenses to fail, got {failed}"
+
+
+def test_table4_defenses_ncf(benchmark, archive):
+    table = run_once(
+        benchmark,
+        lambda: table4_defenses(
+            model_kinds=("ncf",),
+            attacks=("pieck_ipe", "pieck_uea"),
+            defenses=("none", "median", "krum", "regularization"),
+            seed=1,
+        ),
+    )
+    archive("table4_defenses_ncf", table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    assert _er(rows["NoDefense"][0]) > 80.0  # PIECK-IPE undefended
+    assert _er(rows["NoDefense"][1]) > 80.0  # PIECK-UEA undefended
+    # Robust aggregation leaves PIECK untouched on DL-FRS (paper: 100).
+    assert _er(rows["Median"][1]) > 80.0
+    # Our defense contains UEA; see EXPERIMENTS.md for the DL-side
+    # caveat (the reproduction's attack is stronger than the paper's,
+    # and the embedding-level defense is only partially effective
+    # against IPE here).
+    assert _er(rows["ours"][1]) < 0.2 * _er(rows["NoDefense"][1])

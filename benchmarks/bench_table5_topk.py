@@ -1,0 +1,21 @@
+"""Table V: effect of the recommendation cutoff K."""
+
+from repro.experiments import table5_top_k
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table5_topk(benchmark, archive):
+    table = run_once(benchmark, lambda: table5_top_k(ks=(5, 20)))
+    archive("table5_topk", table)
+    rows = {(row[0], row[1]): row[2:] for row in table.rows}
+    for k_col in (0, 1):
+        # Attacks effective without defense, collapsed with it, at each K.
+        assert _er(rows[("PIECK-UEA", "NoDefense")][k_col]) > _er(
+            rows[("NoAttack", "NoDefense")][k_col]
+        )
+        assert _er(rows[("PIECK-UEA", "ours")][k_col]) < 15.0

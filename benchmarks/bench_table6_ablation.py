@@ -1,0 +1,18 @@
+"""Table VI: ablations of the L_IPE attack loss and L_def defense loss."""
+
+from repro.experiments import table6_ablation
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table6_ablation(benchmark, archive):
+    table = run_once(benchmark, table6_ablation)
+    archive("table6_ablation", table)
+    rows = {(row[0], row[1]): row[3] for row in table.rows}
+    # Reproduction check: the combined defense collapses both variants.
+    assert _er(rows[("L_def: Re1 + Re2", "PIECK-IPE")]) < 15.0
+    assert _er(rows[("L_def: Re1 + Re2", "PIECK-UEA")]) < 15.0

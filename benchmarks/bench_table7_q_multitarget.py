@@ -1,0 +1,20 @@
+"""Table VII: large sampling ratio q and multiple target items."""
+
+from repro.experiments import table7_system_settings
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table7_system_settings(benchmark, archive):
+    table = run_once(benchmark, table7_system_settings)
+    archive("table7_q_multitarget", table)
+    rows = {(row[0], row[1]): row[2:] for row in table.rows}
+    for column in (0, 1):  # q=10 column, |T|=3 column
+        assert _er(rows[("PIECK-UEA", "NoDefense")][column]) > _er(
+            rows[("NoAttack", "NoDefense")][column]
+        )
+        assert _er(rows[("PIECK-UEA", "ours")][column]) < 15.0

@@ -1,0 +1,21 @@
+"""Table IX: multi-target strategies (supplementary C)."""
+
+from repro.experiments import table9_multi_target
+
+from benchmarks.conftest import run_once
+
+
+def _er(cell: str) -> float:
+    return float(cell.split("/")[0])
+
+
+def test_table9_multi_target(benchmark, archive):
+    table = run_once(
+        benchmark, lambda: table9_multi_target(target_counts=(2, 3, 5))
+    )
+    archive("table9_multi_target", table)
+    rows = {(row[0], row[1]): [_er(c) for c in row[2:]] for row in table.rows}
+    # Reproduction check: Train-One-Then-Copy stays effective as |T|
+    # grows (the paper's preferred strategy).
+    copy_uea = rows[("PIECK-UEA", "OneThenCopy")]
+    assert copy_uea[-1] > 10.0

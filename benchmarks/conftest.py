@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure (scaled presets),
+prints it, and archives it under ``benchmarks/results/`` so the
+regenerated rows survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture()
+def archive():
+    """Print a regenerated table and persist it to benchmarks/results/.
+
+    ``fig_id`` additionally archives the ASCII rendering of the figure
+    (see :func:`repro.experiments.plotting.render_figure`) next to the
+    table, so the archived artifact shows the curve, not only the rows.
+    """
+
+    def _archive(name: str, table, fig_id: str | None = None) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = str(table)
+        if fig_id is not None:
+            from repro.experiments.plotting import render_figure
+
+            rendering = render_figure(fig_id, table)
+            if rendering is not None:
+                text = f"{text}\n\n{rendering}"
+        print("\n" + text)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

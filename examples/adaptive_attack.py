@@ -1,0 +1,79 @@
+"""Adaptive attack study: refined pseudo-users vs the paper's defense.
+
+PIECK-UEA approximates inaccessible user embeddings with mined popular
+item embeddings (Eq. 10). That approximation is a *geometric* bet —
+Property 3 — and this example shows both sides of it:
+
+Part 1 measures the geometry directly: how closely the popular-item
+centroid tracks the user centroid at the paper's default sampling
+ratio q=1 versus the heavy-negative-sampling regime q=10
+(supplementary B). At q=10 the bet fails, and with it the raw attack.
+
+Part 2 runs the arms race: the raw Eq. 10 attack and the refined
+variant (fake user profiles locally trained on the mined populars,
+``repro.attacks.refinement``) at both ratios, without and with the
+paper's client-side regularization defense. The refined variant
+restores the attack where the geometry breaks — and partially evades
+the defense at q=1, an adaptive-attack finding the paper's future-work
+section anticipates.
+
+Usage::
+
+    python examples/adaptive_attack.py
+"""
+
+from repro.analysis.geometry import property3_report
+from repro.datasets.loaders import load_dataset
+from repro.experiments import attack_config, experiment, run_cell
+from repro.experiments.reporting import TableResult
+from repro.federated.simulation import FederatedSimulation
+
+
+def main() -> None:
+    data = load_dataset(experiment("ml-100k", "mf", seed=0).dataset)
+
+    print("Part 1 — Property 3 geometry at q=1 vs q=10 (clean runs)\n")
+    print(f"{'q':>3} {'centroid cos':>13} {'mean user cos':>14} {'norm ratio':>11}")
+    for q in (1, 10):
+        config = experiment("ml-100k", "mf", seed=0, negative_ratio=q)
+        sim = FederatedSimulation(config, dataset=data)
+        sim.run()
+        report = property3_report(sim)
+        print(
+            f"{q:>3} {report.centroid_cos:13.3f} "
+            f"{report.mean_user_cos:14.3f} {report.norm_ratio:11.3f}"
+        )
+    print(
+        "\nAt q=10 the popular-item centroid decouples from the user"
+        "\ncentroid: raw popular embeddings stop being user stand-ins.\n"
+    )
+
+    print("Part 2 — raw vs refined PIECK-UEA (ER@10 / HR@10, %)\n")
+    table = TableResult(
+        "Adaptive attack study", ["Source", "Defense", "q=1", "q=10"]
+    )
+    for source in ("popular", "refined"):
+        for defense in ("none", "regularization"):
+            attack = attack_config("pieck_uea", uea_pseudo_source=source)
+            cells = []
+            for q in (1, 10):
+                cfg = experiment(
+                    "ml-100k", "mf", attack=attack, defense=defense,
+                    seed=0, negative_ratio=q,
+                )
+                cells.append(str(run_cell(cfg, dataset=data)))
+            table.add_row(source, defense, *cells)
+            print(f"  done: source={source} defense={defense}")
+    print()
+    print(table)
+    print(
+        "\nReading: the raw source collapses at q=10 while the refined"
+        "\nsource stays effective; under the defense the refined source"
+        "\nretains more exposure at q=1 — defenses that only separate"
+        "\nusers from *popular item embeddings* do not bind an attacker"
+        "\nwho re-derives user geometry from local training dynamics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Defense audit: why robust aggregation fails in FRS (Section V).
+
+Part 1 computes the paper's theoretical quantity Ẽ(v_j) (Eq. 11): the
+expected fraction of poisonous gradients the server receives for an
+item, as a function of the item's popularity. Cold items — the natural
+attack targets — are overwhelmingly represented by the attacker even
+at a 5% malicious ratio, which is exactly the assumption Byzantine-
+robust aggregators need to *not* hold.
+
+Part 2 verifies the theory empirically: it runs PIECK-UEA against a
+representative robust aggregator (Median) and against the paper's
+client-side regularization defense.
+
+Part 3 audits a live attacked run with the server-side audit log and
+lines the measured per-item poison share up against the Eq. 11
+prediction — the closed form tracks the measurement closely.
+
+Usage::
+
+    python examples/defense_audit.py
+"""
+
+import numpy as np
+
+from repro.analysis.audit import poison_share_summary, theory_vs_measured
+from repro.analysis.poison_proportion import (
+    expected_poison_proportion,
+    item_inclusion_probability,
+)
+from repro.datasets.loaders import load_dataset
+from repro.experiments import experiment, run_cell
+from repro.experiments.reporting import TableResult
+from repro.federated.simulation import FederatedSimulation
+
+
+def main() -> None:
+    config = experiment("ml-100k", "mf", seed=0)
+    data = load_dataset(config.dataset)
+
+    print("Part 1 — Eq. 11: expected poison share per item (5% malicious)\n")
+    ranking = data.popularity_ranking()
+    probes = {
+        "most popular": int(ranking[0]),
+        "median item": int(ranking[len(ranking) // 2]),
+        "coldest item": int(ranking[-1]),
+    }
+    print(f"{'item kind':>14} {'p_j':>8} {'poison share':>13}")
+    for label, item in probes.items():
+        pj = item_inclusion_probability(data, item)
+        share = expected_poison_proportion(pj, 0.05)
+        print(f"{label:>14} {pj:8.4f} {share:13.2%}")
+    print(
+        "\nMedian/Krum-style defenses need the poison share below 50%;"
+        "\nfor cold targets it is far above, so they cannot help.\n"
+    )
+
+    print("Part 2 — empirical check (PIECK-UEA on MF-FRS, ML-100K)\n")
+    table = TableResult(
+        "Defense audit (ER@10 / HR@10, %)", ["Defense", "Result"]
+    )
+    for defense in ("none", "median", "regularization"):
+        cfg = experiment(
+            "ml-100k", "mf", attack="pieck_uea", defense=defense, seed=0
+        )
+        table.add_row(defense, str(run_cell(cfg, dataset=data)))
+        print(f"  done: {defense}")
+    print()
+    print(table)
+
+    print("\nPart 3 — live audit: Eq. 11 prediction vs measured poison share\n")
+    cfg = experiment("ml-100k", "mf", attack="pieck_uea", seed=0)
+    sim = FederatedSimulation(cfg, dataset=data, audit=True)
+    sim.run()
+    print(f"{'item':>6} {'predicted':>10} {'measured':>9} {'mass share':>11}")
+    for item, predicted, measured in theory_vs_measured(
+        sim.audit_log, data, cfg.attack.malicious_ratio
+    ):
+        mass = poison_share_summary(sim.audit_log, item).mean_mass_share
+        print(f"{item:>6} {predicted:10.3f} {measured:9.3f} {mass:11.3f}")
+    print(
+        "\nThe measured poison count share tracks Eq. 11, and the poison"
+        "\n*mass* share is higher still — the attacker's rows are far"
+        "\nlarger than benign ones, which is what the coordinated"
+        "\ndefense's per-row scale clip exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Multi-target promotion campaign (Table VII / IX).
+
+An attacker rarely wants to promote a single item. This example runs
+PIECK-UEA campaigns promoting 1, 3 and 5 cold items simultaneously,
+comparing the paper's two strategies:
+
+* **Train-Together** — each malicious client optimises poisonous
+  gradients for every target jointly;
+* **Train-One-Then-Copy** — optimise one target and upload |T| copies
+  of its gradient (the paper's preferred, cheaper strategy).
+
+Usage::
+
+    python examples/multi_target_campaign.py
+"""
+
+from repro.config import AttackConfig
+from repro.experiments import experiment, run_cell
+from repro.experiments.reporting import TableResult
+from repro.datasets.loaders import load_dataset
+
+
+def main() -> None:
+    shared = load_dataset(experiment("ml-100k", "mf", seed=0).dataset)
+    table = TableResult(
+        "PIECK-UEA multi-target campaigns (ER@10 / HR@10, %)",
+        ["Strategy", "|T|=1", "|T|=3", "|T|=5"],
+    )
+    for strategy in ("together", "one_then_copy"):
+        cells = []
+        for count in (1, 3, 5):
+            attack = AttackConfig(
+                name="pieck_uea",
+                malicious_ratio=0.05,
+                num_targets=count,
+                multi_target_strategy=strategy,
+            )
+            config = experiment("ml-100k", "mf", attack=attack, seed=0)
+            cells.append(str(run_cell(config, dataset=shared)))
+            print(f"  done: {strategy}, |T|={count}")
+        table.add_row(strategy, *cells)
+    print()
+    print(table)
+    print()
+    print("Train-One-Then-Copy avoids the optimisation interference that")
+    print("grows with |T| under joint training (supplementary C), which is")
+    print("why the paper adopts it for its multi-target experiments.")
+
+
+if __name__ == "__main__":
+    main()

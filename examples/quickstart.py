@@ -1,0 +1,46 @@
+"""Quickstart: train a federated recommender, attack it, defend it.
+
+Runs three short simulations on a scaled-down MovieLens-100K:
+
+1. clean federated MF training (baseline ER/HR),
+2. the same training under the PIECK-UEA poisoning attack,
+3. the attacked training with the paper's regularization defense.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import AttackConfig, DefenseConfig, FederatedSimulation, replace
+from repro.experiments import experiment
+
+
+def main() -> None:
+    base = experiment("ml-100k", "mf", rounds=120, seed=0)
+
+    print("1) Clean federated training ...")
+    clean = FederatedSimulation(base).run()
+    print(f"   ER@10 = {100 * clean.exposure:6.2f}%   HR@10 = {100 * clean.hit_ratio:5.2f}%")
+
+    print("2) PIECK-UEA attack (5% malicious users) ...")
+    attacked_cfg = replace(
+        base, attack=AttackConfig(name="pieck_uea", malicious_ratio=0.05)
+    )
+    attacked = FederatedSimulation(attacked_cfg).run()
+    print(f"   ER@10 = {100 * attacked.exposure:6.2f}%   HR@10 = {100 * attacked.hit_ratio:5.2f}%")
+
+    print("3) Same attack against the regularization defense ...")
+    defended_cfg = replace(
+        attacked_cfg, defense=DefenseConfig(name="regularization")
+    )
+    defended = FederatedSimulation(defended_cfg).run()
+    print(f"   ER@10 = {100 * defended.exposure:6.2f}%   HR@10 = {100 * defended.hit_ratio:5.2f}%")
+
+    print()
+    print("The attack multiplies the target item's exposure while leaving")
+    print("recommendation quality (HR) intact; the defense collapses the")
+    print("exposure back to the clean baseline.")
+
+
+if __name__ == "__main__":
+    main()

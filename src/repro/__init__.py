@@ -1,0 +1,51 @@
+"""repro: reproduction of "Preventing the Popular Item Embedding Based
+Attack in Federated Recommendations" (ICDE 2024).
+
+The library provides, in pure NumPy:
+
+* federated recommender training (MF-FRS and DL-FRS / NCF),
+* the PIECK attack family (popular item mining, PIECK-IPE, PIECK-UEA)
+  and the four baseline attacks it is compared against,
+* six Byzantine-robust server defenses and the paper's client-side
+  regularization defense,
+* the full experiment harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import ExperimentConfig, AttackConfig, FederatedSimulation
+    cfg = ExperimentConfig(attack=AttackConfig(name="pieck_uea"))
+    result = FederatedSimulation(cfg).run()
+    print(result.exposure, result.hit_ratio)
+"""
+
+from repro.config import (
+    AttackConfig,
+    DatasetConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    ModelConfig,
+    TrainConfig,
+    replace,
+)
+from repro.datasets import InteractionDataset, generate_longtail_dataset, load_dataset
+from repro.federated import FederatedSimulation, SimulationResult
+from repro.models import build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackConfig",
+    "DatasetConfig",
+    "DefenseConfig",
+    "ExperimentConfig",
+    "ModelConfig",
+    "TrainConfig",
+    "replace",
+    "InteractionDataset",
+    "generate_longtail_dataset",
+    "load_dataset",
+    "FederatedSimulation",
+    "SimulationResult",
+    "build_model",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analysis utilities behind the paper's figures and theory sections."""
+
+from repro.analysis.audit import (
+    ItemPoisonSummary,
+    poison_share_summary,
+    theory_vs_measured,
+)
+from repro.analysis.cost import measure_round_cost
+from repro.analysis.delta_norm import (
+    DeltaNormStudy,
+    mining_window_study,
+    run_delta_norm_study,
+)
+from repro.analysis.geometry import (
+    AlignmentReport,
+    alignment_report,
+    centroid_cosine,
+    property3_report,
+)
+from repro.analysis.poison_proportion import expected_poison_proportion, item_inclusion_probability
+from repro.analysis.popularity import longtail_summary, popularity_curve
+
+__all__ = [
+    "popularity_curve",
+    "longtail_summary",
+    "DeltaNormStudy",
+    "run_delta_norm_study",
+    "mining_window_study",
+    "expected_poison_proportion",
+    "item_inclusion_probability",
+    "measure_round_cost",
+    "AlignmentReport",
+    "alignment_report",
+    "centroid_cosine",
+    "property3_report",
+    "ItemPoisonSummary",
+    "poison_share_summary",
+    "theory_vs_measured",
+]

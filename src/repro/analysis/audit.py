@@ -1,0 +1,98 @@
+"""Empirical validation of the Eq. 11 defense analysis from audit logs.
+
+Section V-A derives that the expected *proportion* of poisonous
+gradients for an item grows as the item gets colder (Eq. 11-13),
+breaking the minority-poison assumption of Byzantine-robust
+aggregation. :func:`poison_share_summary` computes the measured
+counterpart from a :class:`repro.federated.audit.ServerAuditLog`, and
+:func:`theory_vs_measured` lines it up against the closed-form
+prediction for each attacked item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.poison_proportion import (
+    expected_poison_proportion,
+    item_inclusion_probability,
+)
+from repro.datasets.base import InteractionDataset
+from repro.federated.audit import ServerAuditLog
+
+__all__ = [
+    "ItemPoisonSummary",
+    "poison_share_summary",
+    "theory_vs_measured",
+]
+
+
+@dataclass(frozen=True)
+class ItemPoisonSummary:
+    """Aggregated poison statistics for one item across all rounds."""
+
+    item_id: int
+    rounds_contributed: int
+    benign_gradients: int
+    malicious_gradients: int
+    mean_count_share: float
+    mean_mass_share: float
+
+    @property
+    def overall_count_share(self) -> float:
+        """Poison share of all gradients pooled over rounds."""
+        total = self.benign_gradients + self.malicious_gradients
+        return self.malicious_gradients / total if total else 0.0
+
+
+def poison_share_summary(
+    log: ServerAuditLog, item_id: int
+) -> ItemPoisonSummary:
+    """Summarise one item's poison exposure across the logged rounds."""
+    records = log.for_item(item_id)
+    if not records:
+        return ItemPoisonSummary(
+            item_id=item_id,
+            rounds_contributed=0,
+            benign_gradients=0,
+            malicious_gradients=0,
+            mean_count_share=0.0,
+            mean_mass_share=0.0,
+        )
+    count_shares = [r.poison_count_share for r in records]
+    mass_shares = [r.poison_mass_share for r in records]
+    return ItemPoisonSummary(
+        item_id=item_id,
+        rounds_contributed=len(records),
+        benign_gradients=sum(r.benign_count for r in records),
+        malicious_gradients=sum(r.malicious_count for r in records),
+        mean_count_share=float(np.mean(count_shares)),
+        mean_mass_share=float(np.mean(mass_shares)),
+    )
+
+
+def theory_vs_measured(
+    log: ServerAuditLog,
+    dataset: InteractionDataset,
+    malicious_ratio: float,
+    *,
+    negative_ratio: int = 1,
+) -> list[tuple[int, float, float]]:
+    """Eq. 11 prediction vs measured poison count share per attacked item.
+
+    Returns ``(item_id, predicted_share, measured_share)`` triples for
+    every item the log saw at least one malicious gradient for. The
+    prediction uses the item's inclusion probability ``p_j`` (Eq. 12-13)
+    computed from the dataset's ground-truth interactions.
+    """
+    rows: list[tuple[int, float, float]] = []
+    for item_id in log.poisoned_items():
+        pj = item_inclusion_probability(
+            dataset, int(item_id), negative_ratio=negative_ratio
+        )
+        predicted = expected_poison_proportion(pj, malicious_ratio)
+        measured = poison_share_summary(log, int(item_id)).overall_count_share
+        rows.append((int(item_id), float(predicted), float(measured)))
+    return rows

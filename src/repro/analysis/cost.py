@@ -1,0 +1,55 @@
+"""Per-round wall-clock cost measurement (Fig. 6b).
+
+The paper reports average time per training round for the vanilla FRS,
+the two PIECK variants and the defense, on both model types, showing
+all overheads are small. This helper measures the same quantity for
+any experiment configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.config import ExperimentConfig
+from repro.datasets.base import InteractionDataset
+from repro.federated.simulation import FederatedSimulation
+
+__all__ = ["RoundCost", "measure_round_cost"]
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Average seconds per communication round for one configuration."""
+
+    label: str
+    seconds_per_round: float
+    rounds_measured: int
+
+
+def measure_round_cost(
+    config: ExperimentConfig,
+    *,
+    rounds: int = 30,
+    warmup_rounds: int = 5,
+    label: str = "",
+    dataset: InteractionDataset | None = None,
+) -> RoundCost:
+    """Time the round loop, excluding setup and warm-up rounds.
+
+    Warm-up rounds let PIECK's miners finish (their attack path is the
+    expensive one) so the steady-state cost is what gets measured,
+    matching the paper's 500-round averages.
+    """
+    sim = FederatedSimulation(config, dataset=dataset)
+    for round_idx in range(warmup_rounds):
+        sim.run_round(round_idx)
+    started = time.perf_counter()
+    for round_idx in range(warmup_rounds, warmup_rounds + rounds):
+        sim.run_round(round_idx)
+    elapsed = time.perf_counter() - started
+    return RoundCost(
+        label=label or (config.attack.name if config.attack else "clean"),
+        seconds_per_round=elapsed / max(rounds, 1),
+        rounds_measured=rounds,
+    )

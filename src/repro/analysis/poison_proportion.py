@@ -1,0 +1,75 @@
+"""Expected poisonous-gradient proportion Ẽ(v_j) (Section V-A, Eq. 11-13).
+
+The paper's defense analysis: for an item ``v_j``, the expected share
+of poisonous gradients among all gradients the server receives for it
+is ``p̃ / ((1 - p̃) p_j + p̃)`` where ``p_j`` is the probability that a
+benign user's local training set contains ``v_j``. For a cold target
+item ``p_j`` is tiny and the poison share approaches 1 — the reason
+count-based robust aggregation cannot work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import InteractionDataset
+
+__all__ = ["item_inclusion_probability", "expected_poison_proportion"]
+
+
+def item_inclusion_probability(
+    dataset: InteractionDataset, item: int, negative_ratio: int = 1
+) -> float:
+    """``p_j`` (Eq. 12-13): chance a benign user's D_i contains item j.
+
+    For users who interacted with the item the probability is 1; for
+    the rest it is the chance the item lands among the ``q |D_i+|``
+    sampled negatives out of the ``|V| - |D_i+|`` candidates.
+    """
+    if not 0 <= item < dataset.num_items:
+        raise ValueError(f"item {item} out of range")
+    total = 0.0
+    for user in range(dataset.num_users):
+        positives = dataset.train_pos[user]
+        if item in dataset.train_set(user):
+            total += 1.0
+        else:
+            pool = dataset.num_items - len(positives)
+            if pool > 0:
+                total += min(negative_ratio * len(positives), pool) / pool
+    return total / max(dataset.num_users, 1)
+
+
+def expected_poison_proportion(
+    inclusion_probability: float, malicious_ratio: float
+) -> float:
+    """``Ẽ(v_j)`` (Eq. 11) from ``p_j`` and the malicious ratio ``p̃``."""
+    if not 0.0 <= inclusion_probability <= 1.0:
+        raise ValueError("inclusion probability must lie in [0, 1]")
+    if not 0.0 <= malicious_ratio < 1.0:
+        raise ValueError("malicious ratio must lie in [0, 1)")
+    if malicious_ratio == 0.0:
+        return 0.0
+    benign = (1.0 - malicious_ratio) * inclusion_probability
+    return malicious_ratio / (benign + malicious_ratio)
+
+
+def poison_proportion_profile(
+    dataset: InteractionDataset,
+    malicious_ratio: float,
+    *,
+    negative_ratio: int = 1,
+    items: np.ndarray | None = None,
+) -> np.ndarray:
+    """``Ẽ(v_j)`` for a set of items (default: every item)."""
+    if items is None:
+        items = np.arange(dataset.num_items)
+    return np.array(
+        [
+            expected_poison_proportion(
+                item_inclusion_probability(dataset, int(j), negative_ratio),
+                malicious_ratio,
+            )
+            for j in np.atleast_1d(items)
+        ]
+    )

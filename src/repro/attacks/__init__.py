@@ -1,0 +1,32 @@
+"""Targeted model-poisoning attacks against FRS.
+
+The package implements the paper's contribution — PIECK with its two
+variants (Sections IV-B to IV-D) — and the four top-tier baselines it
+compares against (FedRecAttack, PipAttack, A-ra, A-hum), each with the
+"prior knowledge masked" mode used for Table III's fair comparison.
+"""
+
+from repro.attacks.base import (
+    MaliciousClient,
+    bounded_step_gradient,
+    delta_as_gradient,
+    select_target_items,
+)
+from repro.attacks.mining import DeltaNormTracker, PopularItemMiner
+from repro.attacks.pieck_ipe import PieckIPE, ipe_loss_and_grad
+from repro.attacks.pieck_uea import PieckUEA
+from repro.attacks.registry import ATTACK_NAMES, build_malicious_clients
+
+__all__ = [
+    "MaliciousClient",
+    "delta_as_gradient",
+    "bounded_step_gradient",
+    "select_target_items",
+    "DeltaNormTracker",
+    "PopularItemMiner",
+    "PieckIPE",
+    "PieckUEA",
+    "ipe_loss_and_grad",
+    "ATTACK_NAMES",
+    "build_malicious_clients",
+]

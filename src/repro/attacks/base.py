@@ -1,0 +1,156 @@
+"""Malicious-client interface and shared attack utilities.
+
+The attacker model follows Section III-B: malicious clients know the
+server learning rate and the model structure, and see the global model
+only in rounds where they are sampled. They cannot read benign users'
+embeddings, gradients, interactions or popularity levels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.config import AttackConfig, TrainConfig
+from repro.federated.payload import ClientUpdate
+from repro.models.base import RecommenderModel
+
+__all__ = [
+    "MaliciousClient",
+    "delta_as_gradient",
+    "bounded_step_gradient",
+    "select_target_items",
+]
+
+
+class MaliciousClient(ABC):
+    """A malicious user injected by the attacker.
+
+    ``participate`` is called only in rounds where the server samples
+    this user; it may return ``None`` to upload nothing (e.g. while the
+    PIECK miner is still accumulating Δ-Norm observations).
+    """
+
+    def __init__(self, user_id: int, targets: np.ndarray, config: AttackConfig):
+        self.user_id = user_id
+        self.targets = np.asarray(targets, dtype=np.int64)
+        self.config = config
+        #: Number of malicious clients controlled by the same attacker
+        #: (set by the registry). Known to the attacker by construction.
+        self.team_size = 1
+        self._times_sampled = 0
+
+    def _participation_scale(self, round_idx: int) -> float:
+        """1 / E[co-sampled malicious clients], estimated online.
+
+        When several of the attacker's clients land in the same round,
+        their uploads sum at the server; without coordination the target
+        overshoots its poisoned optimum by that factor every round and
+        oscillates. Each client observes its own sampling rate, knows
+        the team size, and scales its upload so the *expected* combined
+        push equals one intended step. Uses only attacker-side
+        knowledge (Section III-B). Call exactly once per participation.
+        """
+        self._times_sampled += 1
+        rate = self._times_sampled / max(round_idx + 1, 1)
+        return 1.0 / max(rate * self.team_size, 1.0)
+
+    @abstractmethod
+    def participate(
+        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
+    ) -> ClientUpdate | None:
+        """Observe the global model and optionally upload poison."""
+
+    def _target_step_gradients(
+        self,
+        model: RecommenderModel,
+        deltas: list[np.ndarray],
+        server_lr: float,
+        reference_norm: float,
+        scale: float = 1.0,
+    ) -> np.ndarray:
+        """Stack bounded-step gradients steering each target by its delta.
+
+        ``scale`` divides the work among co-sampled teammates (see
+        :meth:`_participation_scale`).
+        """
+        max_step = self.config.step_norm_factor * reference_norm
+        return scale * np.stack(
+            [
+                bounded_step_gradient(
+                    model.item_embeddings[target],
+                    model.item_embeddings[target] + delta,
+                    server_lr,
+                    max_step,
+                )
+                for target, delta in zip(self.targets, deltas)
+            ]
+        )
+
+    def _make_update(
+        self,
+        item_ids: np.ndarray,
+        item_grads: np.ndarray,
+        param_grads: list[np.ndarray] | None = None,
+    ) -> ClientUpdate:
+        update = ClientUpdate(
+            user_id=self.user_id,
+            item_ids=item_ids,
+            item_grads=item_grads,
+            param_grads=param_grads or [],
+            malicious=True,
+        )
+        if self.config.grad_clip > 0:
+            update = update.clipped(self.config.grad_clip)
+        return update
+
+
+def bounded_step_gradient(
+    old: np.ndarray, new: np.ndarray, server_lr: float, max_step: float
+) -> np.ndarray:
+    """Gradient steering ``old`` towards ``new`` by at most ``max_step``.
+
+    Uploading the full jump ``(old - new) / eta`` is unstable: when ``k``
+    malicious clients land in the same round their uploads sum and the
+    parameter overshoots to ``(1 - k) * old + k * new``, which diverges
+    for ``k >= 2``. Capping each client's contribution to a bounded step
+    keeps the dynamics stable while many poisonous gradients still
+    dominate the count for cold items (Eq. 11).
+    """
+    delta = new - old
+    norm = float(np.linalg.norm(delta))
+    if max_step > 0 and norm > max_step:
+        delta = delta * (max_step / norm)
+    return delta_as_gradient(old, old + delta, server_lr)
+
+
+def delta_as_gradient(old: np.ndarray, new: np.ndarray, server_lr: float) -> np.ndarray:
+    """Encode a desired parameter move as an uploadable gradient.
+
+    The server updates ``param <- param - eta * Agg(grads)``; since the
+    attacker knows ``eta`` (attacker knowledge item 1 in Section III-B),
+    uploading ``(old - new) / eta`` steers the parameter towards ``new``
+    when the poisonous gradient dominates the aggregate — which Eq. 11
+    shows it does for cold target items.
+    """
+    if server_lr <= 0:
+        raise ValueError("server learning rate must be positive")
+    return (old - new) / server_lr
+
+
+def select_target_items(
+    dataset, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Randomly pick cold target items, following FedRecAttack's protocol.
+
+    The paper samples targets from the *uninteracted* items so that
+    comparisons are fair; we sample among zero-popularity items and fall
+    back to the coldest tail when every item has interactions.
+    """
+    popularity = dataset.popularity()
+    cold = np.flatnonzero(popularity == 0)
+    if len(cold) >= count:
+        return np.sort(rng.choice(cold, size=count, replace=False))
+    tail = dataset.coldest_items(max(count * 4, count))
+    return np.sort(rng.choice(tail, size=count, replace=False))

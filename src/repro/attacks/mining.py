@@ -1,0 +1,91 @@
+"""Popular item mining from embedding changes (Algorithm 1, Section IV-B).
+
+The core observation of the paper: popular items' embeddings undergo
+larger and longer-lasting changes during FRS training (Properties 1-2),
+so accumulating the per-item L2 change of the received item matrix
+across the rounds a client is sampled (Δ-Norm, Eq. 7) ranks popular
+items at the top — with no prior knowledge whatsoever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DeltaNormTracker", "PopularItemMiner"]
+
+
+class DeltaNormTracker:
+    """Accumulates per-item Δ-Norm across successive model observations.
+
+    ``observe`` is called with the item embedding matrix the client
+    received this round; the first call initialises the baseline
+    (Algorithm 1 line 3) and each later call adds
+    ``||v_j^r - v_j^{r-1}||_2`` per item (line 4).
+    """
+
+    def __init__(self, num_items: int):
+        self.num_items = num_items
+        self.accumulated = np.zeros(num_items)
+        self.observations = 0
+        self._last: np.ndarray | None = None
+
+    @property
+    def num_deltas(self) -> int:
+        """How many Δ-Norm increments have been accumulated."""
+        return max(self.observations - 1, 0)
+
+    def observe(self, item_matrix: np.ndarray) -> None:
+        """Record one received item embedding matrix."""
+        if item_matrix.shape[0] != self.num_items:
+            raise ValueError(
+                f"expected {self.num_items} items, got {item_matrix.shape[0]}"
+            )
+        if self._last is not None:
+            self.accumulated += np.linalg.norm(item_matrix - self._last, axis=1)
+        self._last = item_matrix.copy()
+        self.observations += 1
+
+    def top_items(self, count: int) -> np.ndarray:
+        """Item ids with the highest accumulated Δ-Norm, descending."""
+        count = min(count, self.num_items)
+        order = np.argsort(-self.accumulated, kind="stable")
+        return order[:count]
+
+
+class PopularItemMiner:
+    """Algorithm 1: mine the popular set P after R-tilde accumulations.
+
+    The miner is *ready* once it has seen ``mining_rounds + 1`` model
+    snapshots (i.e. accumulated ``mining_rounds`` Δ-Norm increments);
+    afterwards the mined set is frozen, matching Algorithm 1's
+    one-shot output.
+    """
+
+    def __init__(self, num_items: int, mining_rounds: int, num_popular: int):
+        if mining_rounds < 1:
+            raise ValueError("mining_rounds must be >= 1")
+        if num_popular < 1:
+            raise ValueError("num_popular must be >= 1")
+        self.mining_rounds = mining_rounds
+        self.num_popular = num_popular
+        self._tracker = DeltaNormTracker(num_items)
+        self._mined: np.ndarray | None = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether the popular set has been mined."""
+        return self._mined is not None
+
+    def observe(self, item_matrix: np.ndarray) -> None:
+        """Feed one received item matrix; freezes P when R-tilde is hit."""
+        if self.ready:
+            return
+        self._tracker.observe(item_matrix)
+        if self._tracker.num_deltas >= self.mining_rounds:
+            self._mined = self._tracker.top_items(self.num_popular)
+
+    def popular_items(self) -> np.ndarray:
+        """The mined popular set P, most-popular-first (by Δ-Norm)."""
+        if self._mined is None:
+            raise RuntimeError("popular items not mined yet (miner not ready)")
+        return self._mined

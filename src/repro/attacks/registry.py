@@ -1,0 +1,177 @@
+"""Attack registry: build the malicious client population by name."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import MaliciousClient
+from repro.attacks.baselines.fedattack import FedAttack
+from repro.attacks.baselines.fedrecattack import FedRecAttack
+from repro.attacks.baselines.interaction import AHum, ARa
+from repro.attacks.baselines.pipattack import PipAttack
+from repro.attacks.pieck_ipe import PieckIPE
+from repro.attacks.pieck_uea import PieckUEA
+from repro.config import AttackConfig
+from repro.datasets.base import InteractionDataset
+from repro.rng import spawn
+
+__all__ = ["ATTACK_NAMES", "build_malicious_clients", "num_malicious_for_ratio"]
+
+#: All attacks runnable by name ("none" means no malicious users).
+ATTACK_NAMES = (
+    "none",
+    "fedattack",
+    "fedrecattack",
+    "pipattack",
+    "a_ra",
+    "a_hum",
+    "pieck_ipe",
+    "pieck_uea",
+)
+
+#: How many benign users FedRecAttack is assumed to partially know.
+_FEDREC_KNOWN_USERS = 32
+#: Fraction of a known user's interactions that are public.
+_FEDREC_KNOWN_FRACTION = 0.5
+#: Popular/unpopular label split used by PipAttack (top 15%, Fig. 3).
+_PIP_POPULAR_SHARE = 0.15
+
+
+def num_malicious_for_ratio(num_benign: int, ratio: float) -> int:
+    """Malicious user count so that |U-tilde| / |U| equals ``ratio``.
+
+    The paper's p-tilde is measured against the *total* user population
+    (benign + injected), hence the ``ratio / (1 - ratio)`` conversion.
+    """
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError("malicious ratio must lie in [0, 1)")
+    if ratio == 0.0:
+        return 0
+    return max(1, int(round(num_benign * ratio / (1.0 - ratio))))
+
+
+def _fedrec_known_interactions(
+    dataset: InteractionDataset, masked: bool, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Public interaction sets: real samples, or random noise when masked."""
+    count = min(_FEDREC_KNOWN_USERS, dataset.num_users)
+    users = rng.choice(dataset.num_users, size=count, replace=False)
+    known: list[np.ndarray] = []
+    for user in users:
+        items = dataset.train_pos[int(user)]
+        take = max(1, int(round(len(items) * _FEDREC_KNOWN_FRACTION)))
+        if masked:
+            known.append(rng.choice(dataset.num_items, size=take, replace=False))
+        else:
+            known.append(rng.choice(items, size=min(take, len(items)), replace=False))
+    return known
+
+
+def _pip_labels(
+    dataset: InteractionDataset, masked: bool, rng: np.random.Generator
+) -> np.ndarray:
+    """Binary popularity labels: true top-15%, or shuffled when masked."""
+    ranking = dataset.popularity_ranking()
+    labels = np.zeros(dataset.num_items)
+    head = max(1, int(round(dataset.num_items * _PIP_POPULAR_SHARE)))
+    labels[ranking[:head]] = 1.0
+    if masked:
+        rng.shuffle(labels)
+    return labels
+
+
+def build_malicious_clients(
+    name: str,
+    *,
+    dataset: InteractionDataset,
+    config: AttackConfig,
+    targets: np.ndarray,
+    embedding_dim: int,
+    num_malicious: int,
+    first_user_id: int,
+    masked_prior: bool = True,
+    seed: int = 0,
+) -> list[MaliciousClient]:
+    """Instantiate ``num_malicious`` attack clients of the named attack.
+
+    ``masked_prior`` selects the paper's fair-comparison mode (Table
+    III) in which FedRecAttack's interactions and PipAttack's
+    popularity levels are withheld from the attacker.
+    """
+    if name not in ATTACK_NAMES:
+        raise ValueError(f"unknown attack {name!r}; expected one of {ATTACK_NAMES}")
+    if name == "none" or num_malicious == 0:
+        return []
+
+    rng = spawn(seed, "attack-build", name)
+    clients: list[MaliciousClient] = []
+    for index in range(num_malicious):
+        user_id = first_user_id + index
+        if name == "fedattack":
+            clients.append(
+                FedAttack(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    embedding_dim=embedding_dim,
+                    seed=seed,
+                )
+            )
+        elif name == "pieck_ipe":
+            clients.append(PieckIPE(user_id, targets, config, dataset.num_items))
+        elif name == "pieck_uea":
+            clients.append(
+                PieckUEA(user_id, targets, config, dataset.num_items, seed=seed)
+            )
+        elif name == "fedrecattack":
+            known = _fedrec_known_interactions(dataset, masked_prior, rng)
+            clients.append(
+                FedRecAttack(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    known,
+                    embedding_dim=embedding_dim,
+                    seed=seed,
+                )
+            )
+        elif name == "pipattack":
+            labels = _pip_labels(dataset, masked_prior, rng)
+            clients.append(
+                PipAttack(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    labels,
+                    embedding_dim=embedding_dim,
+                    seed=seed,
+                )
+            )
+        elif name == "a_ra":
+            clients.append(
+                ARa(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    embedding_dim=embedding_dim,
+                    seed=seed,
+                )
+            )
+        elif name == "a_hum":
+            clients.append(
+                AHum(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    embedding_dim=embedding_dim,
+                    seed=seed,
+                )
+            )
+    for client in clients:
+        client.team_size = len(clients)
+    return clients

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Run one experiment (dataset x model x attack x defense) and print
+    ER@K / HR@K; optionally save the result JSON and model checkpoint.
+
+``table`` / ``figure``
+    Regenerate one of the paper's tables or figures by id (e.g.
+    ``table 3``, ``figure 6a``) at the scaled presets.
+
+``audit``
+    Run one attacked experiment with the server audit log enabled and
+    print the Eq. 11 prediction vs the measured poison share for every
+    attacked item.
+
+``list``
+    Show the available datasets, attacks, defenses and experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.attacks.registry import ATTACK_NAMES
+from repro.defenses.registry import DEFENSE_NAMES
+from repro.experiments import (
+    experiment,
+    fig3_longtail,
+    fig4_delta_norm,
+    fig5_ratio_and_n,
+    fig6a_trend,
+    fig6b_cost,
+    fig7_sample_ratio,
+    table2_pkl_ucr,
+    table3_attacks,
+    table4_defenses,
+    table5_top_k,
+    table6_ablation,
+    table7_system_settings,
+    table9_multi_target,
+    table10_learning_rates,
+    table11_bpr_loss,
+)
+from repro.experiments.presets import EXPERIMENT_SCALES
+from repro.federated.simulation import FederatedSimulation
+
+__all__ = ["main"]
+
+_TABLES: dict[str, Callable] = {
+    "2": table2_pkl_ucr,
+    "3": table3_attacks,
+    "4": table4_defenses,
+    "5": table5_top_k,
+    "6": table6_ablation,
+    "7": table7_system_settings,
+    "9": table9_multi_target,
+    "10": table10_learning_rates,
+    "11": table11_bpr_loss,
+}
+
+_FIGURES: dict[str, Callable] = {
+    "3": fig3_longtail,
+    "4": fig4_delta_norm,
+    "5": fig5_ratio_and_n,
+    "6a": fig6a_trend,
+    "6b": fig6b_cost,
+    "7": fig7_sample_ratio,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PIECK reproduction harness (ICDE 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--dataset", default="ml-100k", choices=sorted(EXPERIMENT_SCALES))
+    run.add_argument("--model", default="mf", choices=("mf", "ncf"))
+    run.add_argument("--attack", default="none", choices=ATTACK_NAMES)
+    run.add_argument("--defense", default="none", choices=DEFENSE_NAMES)
+    run.add_argument("--rounds", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--eval-every", type=int, default=0)
+    run.add_argument("--save-result", metavar="PATH", default=None)
+    run.add_argument("--save-model", metavar="PATH", default=None)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("id", choices=sorted(_TABLES, key=lambda x: int(x)))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", choices=sorted(_FIGURES))
+    figure.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render an ASCII plot (figures 6a, 6b and 7)",
+    )
+
+    audit = sub.add_parser(
+        "audit", help="audit an attacked run against the Eq. 11 theory"
+    )
+    audit.add_argument("--dataset", default="ml-100k", choices=sorted(EXPERIMENT_SCALES))
+    audit.add_argument("--model", default="mf", choices=("mf", "ncf"))
+    audit.add_argument(
+        "--attack",
+        default="pieck_uea",
+        choices=tuple(n for n in ATTACK_NAMES if n != "none"),
+    )
+    audit.add_argument("--defense", default="none", choices=DEFENSE_NAMES)
+    audit.add_argument("--rounds", type=int, default=None)
+    audit.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list datasets, attacks, defenses, experiments")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = experiment(
+        args.dataset,
+        args.model,
+        attack=args.attack,
+        defense=args.defense,
+        seed=args.seed,
+        rounds=args.rounds,
+        eval_every=args.eval_every,
+    )
+    sim = FederatedSimulation(config)
+    print(
+        f"Running {args.attack} vs {args.defense} on {args.dataset} "
+        f"({args.model.upper()}-FRS, {sim.dataset.num_users} users, "
+        f"{sim.dataset.num_items} items) ..."
+    )
+    result = sim.run()
+    for record in result.history:
+        print(
+            f"  round {record.round_idx:4d}: "
+            f"ER@10 = {100 * record.exposure:6.2f}%  "
+            f"HR@10 = {100 * record.hit_ratio:5.2f}%"
+        )
+    if args.save_result:
+        from repro.persistence import save_result
+
+        save_result(result, args.save_result)
+        print(f"result saved to {args.save_result}")
+    if args.save_model:
+        from repro.persistence import save_model
+
+        save_model(sim.model, args.save_model)
+        print(f"model checkpoint saved to {args.save_model}")
+    return 0
+
+
+def _plot_figure(fig_id: str, table) -> str | None:
+    """ASCII rendering of a regenerated figure, when one makes sense."""
+    from repro.experiments.plotting import render_figure
+
+    return render_figure(fig_id, table)
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import poison_share_summary, theory_vs_measured
+
+    config = experiment(
+        args.dataset,
+        args.model,
+        attack=args.attack,
+        defense=args.defense,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    sim = FederatedSimulation(config, audit=True)
+    print(
+        f"Auditing {args.attack} vs {args.defense} on {args.dataset} "
+        f"({args.model.upper()}-FRS) ..."
+    )
+    result = sim.run()
+    print(
+        f"final ER@10 = {100 * result.exposure:6.2f}%  "
+        f"HR@10 = {100 * result.hit_ratio:5.2f}%\n"
+    )
+    print(f"{'item':>6} {'Eq.11 predicted':>16} {'measured':>9} {'mass share':>11}")
+    for item, predicted, measured in theory_vs_measured(
+        sim.audit_log, sim.dataset, config.attack.malicious_ratio
+    ):
+        mass = poison_share_summary(sim.audit_log, item).mean_mass_share
+        print(f"{item:>6} {predicted:16.3f} {measured:9.3f} {mass:11.3f}")
+    return 0
+
+
+def _command_list() -> int:
+    print("datasets :", ", ".join(sorted(EXPERIMENT_SCALES)))
+    print("attacks  :", ", ".join(ATTACK_NAMES))
+    print("defenses :", ", ".join(DEFENSE_NAMES))
+    print("tables   :", ", ".join(sorted(_TABLES, key=lambda x: int(x))))
+    print("figures  :", ", ".join(sorted(_FIGURES)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "table":
+        print(_TABLES[args.id]())
+        return 0
+    if args.command == "figure":
+        table = _FIGURES[args.id]()
+        print(table)
+        if args.plot:
+            rendering = _plot_figure(args.id, table)
+            if rendering is None:
+                print(f"(no ASCII plot available for figure {args.id})")
+            else:
+                print()
+                print(rendering)
+        return 0
+    if args.command == "audit":
+        return _command_audit(args)
+    if args.command == "list":
+        return _command_list()
+    return 1  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

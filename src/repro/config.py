@@ -1,0 +1,220 @@
+"""Configuration dataclasses shared across the library.
+
+The configuration hierarchy mirrors the structure of the paper's
+experiments:
+
+* :class:`DatasetConfig` — which dataset, at what scale (Table VIII);
+* :class:`ModelConfig` — MF-FRS or DL-FRS base model (Section III-A);
+* :class:`TrainConfig` — federated training loop hyper-parameters;
+* :class:`AttackConfig` — attacker knobs shared by all attacks
+  (Section III-B, IV);
+* :class:`DefenseConfig` — defense knobs (Section V);
+* :class:`ExperimentConfig` — one full experiment = all of the above.
+
+All dataclasses are frozen: configs are values, never mutated in place.
+Use :func:`dataclasses.replace` to derive variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DatasetConfig",
+    "ModelConfig",
+    "TrainConfig",
+    "AttackConfig",
+    "DefenseConfig",
+    "ExperimentConfig",
+    "replace",
+]
+
+#: Re-exported for convenience so callers need not import dataclasses.
+replace = dataclasses.replace
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Dataset selection and synthesis parameters.
+
+    ``name`` is one of the calibrated presets (``"ml-100k"``, ``"ml-1m"``,
+    ``"az"``) or ``"custom"``. ``scale`` multiplies the preset's user /
+    item / interaction counts so the full experiment harness can run
+    scaled-down (the paper's qualitative results are scale-invariant).
+    """
+
+    name: str = "ml-100k"
+    scale: float = 1.0
+    #: Zipf-like exponent of the item popularity distribution.
+    popularity_exponent: float = 1.0
+    #: Minimum number of train interactions per user after the split.
+    min_interactions_per_user: int = 3
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Base recommender model (Section III-A).
+
+    ``kind`` is ``"mf"`` (matrix factorisation, fixed dot product) or
+    ``"ncf"`` (neural collaborative filtering, learnable MLP tower,
+    Eq. 1). ``mlp_layers`` lists hidden sizes of the ``L`` MLP layers
+    used only by NCF.
+    """
+
+    kind: str = "mf"
+    embedding_dim: int = 16
+    mlp_layers: tuple[int, ...] = (32, 16)
+    init_scale: float = 0.1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Federated training hyper-parameters (Section III-A).
+
+    ``negative_ratio`` is the sampling ratio ``q`` of uninteracted to
+    interacted items in each client's local dataset. ``client_lr`` is
+    the learning rate used by clients to update their private user
+    embedding; by default it equals the server learning rate ``lr``
+    (the paper's standard consistent-rate setting, supplementary D).
+    """
+
+    rounds: int = 200
+    users_per_round: int = 256
+    lr: float = 0.05
+    client_lr: float | None = None
+    #: When set, each client draws its own fixed learning rate
+    #: log-uniformly from this (low, high) range — the "dynamic
+    #: inconsistent rates" scenario of supplementary Table X.
+    client_lr_range: tuple[float, float] | None = None
+    negative_ratio: int = 1
+    loss: str = "bce"  # "bce" or "bpr" (supplementary E)
+    eval_every: int = 0  # 0 = evaluate only at the end
+    eval_num_negatives: int = 99
+    top_k: int = 10
+
+    @property
+    def effective_client_lr(self) -> float:
+        """Client-side learning rate (defaults to the server rate)."""
+        return self.lr if self.client_lr is None else self.client_lr
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Attacker knobs shared by all targeted attacks (Sections III-B, IV).
+
+    ``malicious_ratio`` is the proportion of injected malicious users
+    (p-tilde in the paper). ``mining_rounds`` is R-tilde in Algorithm 1
+    and ``num_popular`` is N, the mined popular set size. The inner
+    optimisation (``inner_steps`` / ``inner_lr``) realises the paper's
+    "multiple rounds in batches" refinement of the poisonous gradients
+    (Section VI-F); the resulting embedding delta is uploaded as a
+    gradient scaled by the known server learning rate.
+    """
+
+    name: str = "pieck_uea"
+    malicious_ratio: float = 0.05
+    num_targets: int = 1
+    target_items: tuple[int, ...] | None = None
+    mining_rounds: int = 2
+    num_popular: int = 10
+    inner_steps: int = 3
+    inner_lr: float = 1.0
+    #: Weight-decay strength lambda in Eq. 8 (PIECK-IPE only).
+    ipe_lambda: float = 0.5
+    #: Popular-item batch size per inner UEA step (Section VI-F notes a
+    #: default batch size of 5 and round size of 3).
+    uea_batch_size: int = 5
+    #: Promotion margin: the inner optimisation pushes target logits to
+    #: saturate around ``margin + 4`` instead of 4, so the promoted item
+    #: clears the personalised top-K threshold of most users.
+    promotion_margin: float = 2.0
+    #: Adaptive margin (PIECK-UEA): offset the margin by the best score
+    #: any mined popular item achieves against the pseudo-users, so the
+    #: promotion keeps tracking the growing personalised score scale as
+    #: the FRS converges. Needs no prior knowledge — the attacker reads
+    #: everything from the received global model.
+    adaptive_margin: bool = True
+    #: Before each inner optimisation the target embedding is shrunk to
+    #: at most this multiple of the popular-item norm scale. Without
+    #: re-anchoring, sigmoid saturation freezes the poisoned embedding
+    #: in a stale direction while the popular/user direction keeps
+    #: rotating during training.
+    norm_cap_factor: float = 1.5
+    #: PIECK-IPE: also match the target's embedding *norm* to the mined
+    #: popular items (in MF-FRS popularity largely lives in the norm, so
+    #: cosine-only alignment cannot lift a target into anyone's top-K).
+    ipe_match_norm: bool = True
+    #: Each uploaded poisonous gradient moves the target at most this
+    #: multiple of the popular-norm scale per contributing client. A
+    #: bounded step keeps the attack stable when several malicious
+    #: clients are sampled into the same round (their uploads sum at the
+    #: server), while preserving the count dominance that defeats
+    #: robust aggregation (Eq. 11).
+    step_norm_factor: float = 1.0
+    #: Multi-target strategy: "together" or "one_then_copy" (supp. C).
+    multi_target_strategy: str = "one_then_copy"
+    #: PIECK-UEA pseudo-user source: "popular" uses the raw mined
+    #: popular embeddings (Eq. 10 verbatim, the paper's attack and the
+    #: default); "refined" locally trains fake user embeddings anchored
+    #: on the mined populars, which stays effective even when heavy
+    #: negative sampling decouples item and user geometry (supp. B,
+    #: Table VII's q=10 column) — see :mod:`repro.attacks.refinement`.
+    uea_pseudo_source: str = "popular"
+    #: Number of refined pseudo-users maintained per malicious client.
+    uea_refine_count: int = 8
+    #: Warm-started BCE steps run against the current global model on
+    #: each participation.
+    uea_refine_steps: int = 40
+    #: Local learning rate of the refinement steps.
+    uea_refine_lr: float = 0.5
+    #: Negative sampling ratio of the fake local profiles.
+    uea_refine_negative_ratio: int = 4
+    #: Upper bound on the norm of uploaded poisonous gradients
+    #: (0 = unbounded). Used by stealthier baselines.
+    grad_clip: float = 0.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Defense selection and knobs (Section V).
+
+    ``name`` identifies a server-side robust aggregator
+    (``norm_bound``, ``median``, ``trimmed_mean``, ``krum``,
+    ``multi_krum``, ``bulyan``), the paper's client-side defense
+    (``regularization``), or ``none``. ``beta`` / ``gamma`` are the
+    trade-off weights of the Re1 / Re2 terms in Eq. 16; ``num_popular``
+    and ``mining_rounds`` configure the benign clients' own popular
+    item mining.
+    """
+
+    name: str = "none"
+    beta: float = 0.5
+    gamma: float = 0.5
+    num_popular: int = 10
+    mining_rounds: int = 2
+    #: NormBound clipping threshold; <=0 selects a heuristic default.
+    norm_bound: float = 0.0
+    #: Assumed malicious fraction for TrimmedMean / MultiKrum / Bulyan.
+    assumed_malicious_ratio: float = 0.05
+    #: Row-norm clip factor for the coordinated defense's server-side
+    #: ItemScaleClip (multiple of the flood-robust median-of-medians
+    #: row scale). Containment needs the bound *below* the benign
+    #: median: a cold target has almost no benign pushback (Eq. 11),
+    #: so any headroom above the benign scale lets poison drift in.
+    scale_clip_factor: float = 0.5
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete experiment: dataset + model + training + attack + defense."""
+
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    attack: AttackConfig | None = None
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
+    seed: int = 0

@@ -1,0 +1,130 @@
+"""Core interaction dataset container with a leave-one-out split.
+
+Users and items are dense integer ids. Interactions are implicit
+feedback (a user interacted with an item or not), matching the paper's
+setting: the ground-truth score ``x_ij`` is 1 for interacted pairs and
+0 otherwise (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InteractionDataset"]
+
+
+@dataclass
+class InteractionDataset:
+    """Implicit-feedback dataset split leave-one-out per user.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name.
+    num_users, num_items:
+        Sizes of the dense id spaces.
+    train_pos:
+        ``train_pos[i]`` is the array of item ids user ``i`` interacted
+        with, excluding the held-out test item. Sorted ascending.
+    test_items:
+        ``test_items[i]`` is the held-out item for user ``i`` (the
+        leave-one-out protocol of He et al., used for HR@K), or ``-1``
+        when the user has too few interactions to hold one out.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    train_pos: list[np.ndarray]
+    test_items: np.ndarray
+    _train_sets: list[set[int]] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.train_pos) != self.num_users:
+            raise ValueError(
+                f"train_pos has {len(self.train_pos)} entries for "
+                f"{self.num_users} users"
+            )
+        if len(self.test_items) != self.num_users:
+            raise ValueError(
+                f"test_items has {len(self.test_items)} entries for "
+                f"{self.num_users} users"
+            )
+        for i, items in enumerate(self.train_pos):
+            if len(items) and (items.min() < 0 or items.max() >= self.num_items):
+                raise ValueError(f"user {i} has out-of-range item ids")
+        tests = self.test_items
+        valid = tests[tests >= 0]
+        if len(valid) and valid.max() >= self.num_items:
+            raise ValueError("test item id out of range")
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_train_interactions(self) -> int:
+        """Total number of (user, item) training interactions."""
+        return int(sum(len(p) for p in self.train_pos))
+
+    def popularity(self, include_test: bool = False) -> np.ndarray:
+        """Per-item interaction counts (the paper's item popularity).
+
+        Popularity is defined as the number of user interactions an item
+        receives (Section IV-B). By default only training interactions
+        are counted, which is everything a deployed FRS would see.
+        """
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        for items in self.train_pos:
+            counts[items] += 1
+        if include_test:
+            valid = self.test_items[self.test_items >= 0]
+            np.add.at(counts, valid, 1)
+        return counts
+
+    def popularity_ranking(self) -> np.ndarray:
+        """Item ids sorted from most popular to least popular."""
+        counts = self.popularity()
+        # Stable mergesort keeps ties in item-id order for determinism.
+        return np.argsort(-counts, kind="stable")
+
+    def popularity_rank_of(self) -> np.ndarray:
+        """``rank[j]`` = popularity rank of item ``j`` (0 = most popular)."""
+        ranking = self.popularity_ranking()
+        rank = np.empty(self.num_items, dtype=np.int64)
+        rank[ranking] = np.arange(self.num_items)
+        return rank
+
+    # ------------------------------------------------------------------
+    # Membership helpers
+    # ------------------------------------------------------------------
+
+    def train_set(self, user: int) -> set[int]:
+        """Set view of a user's training items (cached)."""
+        if self._train_sets is None:
+            self._train_sets = [set(p.tolist()) for p in self.train_pos]
+        return self._train_sets[user]
+
+    def has_interacted(self, user: int, item: int) -> bool:
+        """Whether ``item`` is in ``user``'s training interactions."""
+        return item in self.train_set(user)
+
+    def train_mask(self) -> np.ndarray:
+        """Boolean (num_users, num_items) mask of training interactions."""
+        mask = np.zeros((self.num_users, self.num_items), dtype=bool)
+        for i, items in enumerate(self.train_pos):
+            mask[i, items] = True
+        return mask
+
+    def uninteracted_items(self, user: int) -> np.ndarray:
+        """Item ids the user has neither trained on nor held out."""
+        banned = self.train_set(user) | {int(self.test_items[user])}
+        return np.array(
+            [j for j in range(self.num_items) if j not in banned], dtype=np.int64
+        )
+
+    def coldest_items(self, count: int) -> np.ndarray:
+        """The ``count`` least-popular items (typical attack targets)."""
+        return self.popularity_ranking()[::-1][:count].copy()

@@ -1,0 +1,77 @@
+"""Negative sampling and per-round local batch construction.
+
+Each client's private training set ``D_i`` is its interacted items
+``D_i+`` plus ``q`` times as many sampled uninteracted items ``D_i-``
+(Section III-A; the paper uses ``q = 1`` by default and studies larger
+``q`` in Section VI-G and supplementary B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_negatives", "sample_local_batch"]
+
+
+def sample_negatives(
+    rng: np.random.Generator,
+    positive_items: np.ndarray,
+    num_items: int,
+    count: int,
+) -> np.ndarray:
+    """Sample ``count`` item ids not present in ``positive_items``.
+
+    Uses rejection sampling with a vectorised fast path, falling back
+    to explicit complement enumeration when negatives are scarce
+    (e.g. very active users in a small catalogue).
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    positives = set(positive_items.tolist())
+    available = num_items - len(positives)
+    if available <= 0:
+        return np.empty(0, dtype=np.int64)
+    if count >= available:
+        pool = np.array(
+            [j for j in range(num_items) if j not in positives], dtype=np.int64
+        )
+        return pool if count >= len(pool) else rng.choice(pool, size=count, replace=False)
+
+    # Fast path: oversample, filter, top up if unlucky.
+    out: list[int] = []
+    seen: set[int] = set()
+    need = count
+    while need > 0:
+        draw = rng.integers(0, num_items, size=max(2 * need, 8))
+        for j in draw:
+            j = int(j)
+            if j in positives or j in seen:
+                continue
+            seen.add(j)
+            out.append(j)
+            need -= 1
+            if need == 0:
+                break
+    return np.asarray(out, dtype=np.int64)
+
+
+def sample_local_batch(
+    rng: np.random.Generator,
+    positive_items: np.ndarray,
+    num_items: int,
+    negative_ratio: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build one round's local training batch for a client.
+
+    Returns ``(items, labels)`` where labels are 1.0 for the client's
+    interacted items and 0.0 for the ``negative_ratio * |D_i+|``
+    freshly-sampled negatives.
+    """
+    negatives = sample_negatives(
+        rng, positive_items, num_items, negative_ratio * len(positive_items)
+    )
+    items = np.concatenate([positive_items, negatives])
+    labels = np.concatenate(
+        [np.ones(len(positive_items)), np.zeros(len(negatives))]
+    )
+    return items, labels

@@ -1,0 +1,229 @@
+"""Coordinated (client + server) defense — the paper's future work.
+
+Section VII of the paper calls for defenses that combine server-side
+and client-side strategies. The naive composition fails: NormBound
+clips each client's *whole* upload, which shrinks the benign clients'
+regularization gradients along with everything else and blunts exactly
+the signal that contains the attack (measured as a negative result in
+``benchmarks/bench_hybrid_defense.py``).
+
+The coordinated design replaces the per-client norm bound with a
+per-*row* scale clip derived from the paper's own Eq. 11 analysis:
+
+* Eq. 11 shows poison *dominates the gradient count* of a cold target
+  item, so anything computed per item (median, trimmed mean, Krum) is
+  already lost for that item.
+* But benign per-item gradient rows have comparable norms *across*
+  items — each is a bounded BCE/BPR derivative times a user embedding,
+  divided by the local dataset size — and benign *clients* vastly
+  outnumber malicious ones in every round.
+* The server therefore calibrates a benign row scale as a
+  median-of-medians: each client contributes the median norm of its
+  own rows, and the cross-client median of those is the scale. One
+  value per client means neither a few huge poison rows nor a flood of
+  thousands of tiny rows from one client can move the statistic.
+* Every row is clipped to a small multiple of that scale. (An optional
+  per-tensor variant for DL-FRS interaction parameters exists but is
+  off by default — see ``include_params`` below.)
+
+A poisonous row that encodes a ``delta / eta`` jump needs a norm far
+above the benign scale to move a cold embedding in one round; after
+the clip its per-round push is bounded at the benign scale, which the
+benign pushback (and the client-side regularization, which passes
+through the clip untouched because it *is* at the benign scale) can
+counter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate
+
+__all__ = ["ItemScaleClip"]
+
+
+def _lower_median(values: np.ndarray) -> float:
+    """Median as an actual element (no interpolation).
+
+    Using an element keeps the clip idempotent for ``factor >= 1``:
+    clipping rows down *to* the bound can never push an order statistic
+    below the previous median.
+    """
+    return float(np.quantile(values, 0.5, method="lower"))
+
+
+class ItemScaleClip:
+    """Server-side filter clipping each uploaded item-gradient row.
+
+    Parameters
+    ----------
+    factor:
+        Multiple of the calibrated benign row scale allowed per row.
+        The default (0.5) deliberately clips *into* the benign row
+        distribution: a cold target item receives almost no benign
+        pushback (Eq. 11), so a bound with headroom above the benign
+        scale still lets poison drift in over the rounds — containment
+        needs the per-round poison step at or below the typical benign
+        row. Uniform row clipping at this level is harmless to benign
+        training (it acts like gradient clipping; measured HR is flat
+        to slightly better).
+    history:
+        Exponential-moving-average weight for smoothing the scale
+        across rounds (0 disables smoothing). Smoothing prevents an
+        attacker who is heavily sampled in one round from dragging the
+        round-local scale.
+    include_params:
+        Also clip interaction-parameter gradients (DL-FRS) per tensor,
+        each against the cross-client median norm of that tensor's
+        uploads. **Off by default — measured to backfire.** A tensor
+        mixes the poison direction with the benign learning signal, so
+        whole-tensor clipping blunts the benign clients' corrective
+        gradients more than the (few, same-bounded) poisonous ones: on
+        NCF, A-hum containment regresses from ER ~5 to ER 100 when
+        this is enabled (EXPERIMENTS.md). Row-granular statistics are
+        what make the item-side clip sound; parameter tensors lack
+        that granularity.
+    """
+
+    def __init__(
+        self,
+        factor: float = 0.5,
+        history: float = 0.5,
+        include_params: bool = False,
+    ):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if not 0.0 <= history < 1.0:
+            raise ValueError("history must lie in [0, 1)")
+        self.factor = factor
+        self.history = history
+        self.include_params = include_params
+        self._smoothed_median: float | None = None
+        self._smoothed_param_medians: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Scale calibration
+    # ------------------------------------------------------------------
+
+    def _round_median(self, updates: Sequence[ClientUpdate]) -> float:
+        """Median-of-medians benign row scale for one round.
+
+        Each client contributes exactly one value — the median norm of
+        its own rows — so a single client cannot move the statistic no
+        matter how many (or how extreme) rows it uploads.
+        """
+        client_medians = []
+        for update in updates:
+            norms = np.linalg.norm(update.item_grads, axis=1)
+            positive = norms[norms > 0]
+            if len(positive):
+                client_medians.append(_lower_median(positive))
+        if not client_medians:
+            return 0.0
+        return _lower_median(np.asarray(client_medians))
+
+    def _update_scale(self, round_median: float) -> float:
+        if self._smoothed_median is None or self.history == 0.0:
+            self._smoothed_median = round_median
+        else:
+            self._smoothed_median = (
+                self.history * self._smoothed_median
+                + (1.0 - self.history) * round_median
+            )
+        return self._smoothed_median
+
+    def _param_bounds(self, updates: Sequence[ClientUpdate]) -> list[float]:
+        """Per-tensor clip bounds from cross-client median norms."""
+        stacks: list[list[float]] = []
+        for update in updates:
+            for index, grad in enumerate(update.param_grads):
+                while len(stacks) <= index:
+                    stacks.append([])
+                norm = float(np.linalg.norm(grad))
+                if norm > 0:
+                    stacks[index].append(norm)
+        bounds: list[float] = []
+        for index, norms in enumerate(stacks):
+            median = _lower_median(np.asarray(norms)) if norms else 0.0
+            while len(self._smoothed_param_medians) <= index:
+                self._smoothed_param_medians.append(median)
+            if self.history > 0.0:
+                self._smoothed_param_medians[index] = (
+                    self.history * self._smoothed_param_medians[index]
+                    + (1.0 - self.history) * median
+                )
+            else:
+                self._smoothed_param_medians[index] = median
+            bounds.append(self.factor * self._smoothed_param_medians[index])
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def __call__(self, updates: Sequence[ClientUpdate]) -> Sequence[ClientUpdate]:
+        if not updates:
+            return updates
+        scale = self._update_scale(self._round_median(updates))
+        param_bounds = (
+            self._param_bounds(updates) if self.include_params else []
+        )
+        if scale <= 0.0 and not any(b > 0 for b in param_bounds):
+            return updates
+        bound = self.factor * scale
+        clipped: list[ClientUpdate] = []
+        for update in updates:
+            item_grads = self._clip_rows(update.item_grads, bound)
+            param_grads = self._clip_params(update.param_grads, param_bounds)
+            if item_grads is None and param_grads is None:
+                clipped.append(update)
+                continue
+            clipped.append(
+                ClientUpdate(
+                    user_id=update.user_id,
+                    item_ids=update.item_ids,
+                    item_grads=(
+                        update.item_grads if item_grads is None else item_grads
+                    ),
+                    param_grads=(
+                        update.param_grads if param_grads is None else param_grads
+                    ),
+                    malicious=update.malicious,
+                )
+            )
+        return clipped
+
+    @staticmethod
+    def _clip_rows(grads: np.ndarray, bound: float) -> np.ndarray | None:
+        """Rows clipped to ``bound``, or ``None`` when nothing changes."""
+        if bound <= 0.0 or len(grads) == 0:
+            return None
+        row_norms = np.linalg.norm(grads, axis=1)
+        over = row_norms > bound
+        if not over.any():
+            return None
+        out = grads.copy()
+        out[over] *= (bound / row_norms[over])[:, None]
+        return out
+
+    @staticmethod
+    def _clip_params(
+        grads: list[np.ndarray], bounds: list[float]
+    ) -> list[np.ndarray] | None:
+        """Tensors clipped to their bounds, or ``None`` if unchanged."""
+        if not grads or not bounds:
+            return None
+        changed = False
+        out: list[np.ndarray] = []
+        for index, grad in enumerate(grads):
+            bound = bounds[index] if index < len(bounds) else 0.0
+            norm = float(np.linalg.norm(grad))
+            if bound > 0.0 and norm > bound:
+                out.append(grad * (bound / norm))
+                changed = True
+            else:
+                out.append(grad)
+        return out if changed else None

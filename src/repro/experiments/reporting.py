@@ -1,0 +1,44 @@
+"""ASCII table rendering for regenerated paper tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableResult", "format_table"]
+
+
+@dataclass
+class TableResult:
+    """A regenerated table: title, column headers and formatted rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row, stringifying each cell."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(row)
+
+    def __str__(self) -> str:
+        return format_table(self.title, self.headers, self.rows)
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned ASCII table with a title banner."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [f"== {title} ==", render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

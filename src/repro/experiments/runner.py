@@ -1,0 +1,45 @@
+"""Single-experiment runner producing (ER@K, HR@K) cells."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ExperimentConfig
+from repro.datasets.base import InteractionDataset
+from repro.federated.simulation import FederatedSimulation, SimulationResult
+
+__all__ = ["Cell", "run_cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One table cell: attack effectiveness and recommendation quality.
+
+    Values are percentages, matching the paper's table formatting.
+    """
+
+    er: float
+    hr: float
+
+    def __str__(self) -> str:
+        return f"{self.er:6.2f} / {self.hr:5.2f}"
+
+
+def run_cell(
+    config: ExperimentConfig,
+    *,
+    dataset: InteractionDataset | None = None,
+    k: int | None = None,
+) -> Cell:
+    """Run one experiment and return its ER/HR cell (percent).
+
+    ``dataset`` lets callers share a pre-generated dataset across the
+    cells of a table (the paper's tables vary attack/defense, not the
+    data). ``k`` overrides the evaluation cutoff (Table V).
+    """
+    sim = FederatedSimulation(config, dataset=dataset)
+    result: SimulationResult = sim.run()
+    if k is not None and k != config.train.top_k:
+        er, hr = sim.evaluate(k=k)
+        return Cell(er=100.0 * er, hr=100.0 * hr)
+    return Cell(er=100.0 * result.exposure, hr=100.0 * result.hit_ratio)

@@ -1,0 +1,113 @@
+"""Multi-seed stability sweeps for headline claims.
+
+The paper reports single-run numbers; a reproduction should also show
+that its *qualitative* claims (attack works, defense holds, HR is
+untouched) are not artifacts of one lucky seed. A
+:class:`SeedSweep` runs the same experiment cell across several seeds
+— reseeding the dataset synthesis, model initialisation, user sampling
+and attacker randomness together — and summarises the spread.
+
+Used by ``benchmarks/bench_seed_stability.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import AttackConfig, DefenseConfig
+from repro.experiments.presets import experiment
+from repro.experiments.runner import Cell, run_cell
+
+__all__ = ["SeedSweep", "sweep_seeds"]
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """ER/HR cells of one experiment across seeds, with summaries."""
+
+    seeds: tuple[int, ...]
+    cells: tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.seeds) != len(self.cells):
+            raise ValueError("seeds and cells must align")
+        if not self.cells:
+            raise ValueError("a sweep needs at least one seed")
+
+    @property
+    def er_values(self) -> np.ndarray:
+        """ER@K per seed, in percent."""
+        return np.array([c.er for c in self.cells])
+
+    @property
+    def hr_values(self) -> np.ndarray:
+        """HR@K per seed, in percent."""
+        return np.array([c.hr for c in self.cells])
+
+    @property
+    def er_mean(self) -> float:
+        return float(self.er_values.mean())
+
+    @property
+    def er_std(self) -> float:
+        return float(self.er_values.std())
+
+    @property
+    def hr_mean(self) -> float:
+        return float(self.hr_values.mean())
+
+    @property
+    def hr_std(self) -> float:
+        return float(self.hr_values.std())
+
+    @property
+    def er_min(self) -> float:
+        return float(self.er_values.min())
+
+    @property
+    def er_max(self) -> float:
+        return float(self.er_values.max())
+
+    def __str__(self) -> str:
+        return (
+            f"ER@10 {self.er_mean:6.2f} ± {self.er_std:5.2f} "
+            f"[{self.er_min:.2f}, {self.er_max:.2f}]  "
+            f"HR@10 {self.hr_mean:5.2f} ± {self.hr_std:4.2f}"
+        )
+
+
+def sweep_seeds(
+    dataset: str,
+    model_kind: str,
+    *,
+    attack: str | AttackConfig | None = None,
+    defense: str | DefenseConfig = "none",
+    seeds: Sequence[int] = (0, 1, 2),
+    **train_overrides,
+) -> SeedSweep:
+    """Run one experiment cell across ``seeds`` and summarise.
+
+    Every seed regenerates the whole pipeline — dataset synthesis,
+    model initialisation, target selection, round sampling and attacker
+    randomness — so the spread reflects full end-to-end variance rather
+    than only training noise.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cells = tuple(
+        run_cell(
+            experiment(
+                dataset,
+                model_kind,
+                attack=attack,
+                defense=defense,
+                seed=seed,
+                **train_overrides,
+            )
+        )
+        for seed in seeds
+    )
+    return SeedSweep(seeds=tuple(seeds), cells=cells)

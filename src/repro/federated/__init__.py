@@ -1,0 +1,28 @@
+"""Federated recommendation core: clients, server, round-loop simulation.
+
+The training protocol follows Section III-A of the paper: each round
+the server samples a batch of users, sends them the global model (item
+embeddings, plus MLP parameters for DL-FRS), receives per-parameter
+gradients back, aggregates them with ``Agg`` (a plain sum, or a defense
+aggregator) and applies one SGD step. User embeddings stay on clients.
+"""
+
+from repro.federated.aggregation import Aggregator, SumAggregator
+from repro.federated.audit import ItemRoundRecord, ServerAuditLog
+from repro.federated.client import BenignClient
+from repro.federated.payload import ClientUpdate
+from repro.federated.server import Server
+from repro.federated.simulation import EvalRecord, FederatedSimulation, SimulationResult
+
+__all__ = [
+    "ClientUpdate",
+    "Aggregator",
+    "SumAggregator",
+    "BenignClient",
+    "Server",
+    "FederatedSimulation",
+    "SimulationResult",
+    "EvalRecord",
+    "ServerAuditLog",
+    "ItemRoundRecord",
+]

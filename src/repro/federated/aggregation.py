@@ -1,0 +1,43 @@
+"""Gradient aggregation interface and the undefended sum aggregator.
+
+The server aggregates, per item embedding (and per interaction
+parameter tensor), the stack of gradients received from the clients
+that contributed one. With no defense, ``Agg`` is a plain sum
+(Section III-A). Robust aggregators in :mod:`repro.defenses` implement
+the same interface; they return values on the *sum scale* (robust
+centre x contributor count) so the server learning-rate semantics are
+identical with and without a defense.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Aggregator", "SumAggregator"]
+
+
+class Aggregator(ABC):
+    """Combines per-client gradients for one parameter into one gradient."""
+
+    @abstractmethod
+    def aggregate(self, grads: np.ndarray) -> np.ndarray:
+        """Aggregate a stack of gradients.
+
+        ``grads`` has shape ``(n_clients, *param_shape)`` with
+        ``n_clients >= 1``; the result has shape ``param_shape``.
+        """
+
+    def _check(self, grads: np.ndarray) -> np.ndarray:
+        grads = np.asarray(grads, dtype=np.float64)
+        if grads.ndim < 2 or len(grads) == 0:
+            raise ValueError("expected a non-empty stack of gradients")
+        return grads
+
+
+class SumAggregator(Aggregator):
+    """The undefended FRS aggregation: a simple sum over contributors."""
+
+    def aggregate(self, grads: np.ndarray) -> np.ndarray:
+        return self._check(grads).sum(axis=0)

@@ -1,0 +1,66 @@
+"""Gradient payload uploaded by a client each round.
+
+In an FRS a client only uploads gradients for the items in its private
+local dataset — the fact at the heart of the paper's defense analysis
+(Eq. 11): a cold target item receives benign gradients from almost
+nobody, so poisonous gradients dominate no matter how few attackers
+there are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClientUpdate"]
+
+
+@dataclass
+class ClientUpdate:
+    """One client's upload for one communication round.
+
+    ``item_ids`` / ``item_grads`` are row-aligned; ``param_grads``
+    covers the learnable interaction function (DL-FRS only; empty list
+    means the client does not contribute to interaction parameters).
+    ``malicious`` is ground-truth bookkeeping used only by analysis
+    code, never by the server or defenses.
+    """
+
+    user_id: int
+    item_ids: np.ndarray
+    item_grads: np.ndarray
+    param_grads: list[np.ndarray] = field(default_factory=list)
+    malicious: bool = False
+
+    def __post_init__(self) -> None:
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.item_grads = np.asarray(self.item_grads, dtype=np.float64)
+        if self.item_grads.ndim != 2 or len(self.item_ids) != len(self.item_grads):
+            raise ValueError(
+                f"item_grads {self.item_grads.shape} does not align with "
+                f"{len(self.item_ids)} item ids"
+            )
+        if len(np.unique(self.item_ids)) != len(self.item_ids):
+            raise ValueError("duplicate item ids in a single update")
+
+    @property
+    def total_norm(self) -> float:
+        """L2 norm of the full uploaded gradient (items + parameters)."""
+        total = float(np.sum(self.item_grads**2))
+        total += sum(float(np.sum(g**2)) for g in self.param_grads)
+        return float(np.sqrt(total))
+
+    def clipped(self, max_norm: float) -> "ClientUpdate":
+        """Copy of this update clipped to a maximum total L2 norm."""
+        norm = self.total_norm
+        if max_norm <= 0 or norm <= max_norm:
+            return self
+        scale = max_norm / norm
+        return ClientUpdate(
+            user_id=self.user_id,
+            item_ids=self.item_ids.copy(),
+            item_grads=self.item_grads * scale,
+            param_grads=[g * scale for g in self.param_grads],
+            malicious=self.malicious,
+        )

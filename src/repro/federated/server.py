@@ -1,0 +1,104 @@
+"""Federated server: user sampling, aggregation, global model update.
+
+The server implements step 1 and step 4 of the training round in
+Section III-A: it randomly selects a user batch, and after receiving
+uploads it updates every item embedding (and, for DL-FRS, every
+interaction parameter) by ``param <- param - eta * Agg(grads)``.
+
+An optional *update filter* hook lets server-side defenses such as
+NormBound pre-process whole client uploads before aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.federated.aggregation import Aggregator, SumAggregator
+from repro.federated.audit import ServerAuditLog
+from repro.federated.payload import ClientUpdate
+from repro.models.base import RecommenderModel
+from repro.rng import spawn
+
+__all__ = ["Server"]
+
+UpdateFilter = Callable[[Sequence[ClientUpdate]], Sequence[ClientUpdate]]
+
+
+class Server:
+    """Coordinates rounds and applies aggregated updates to the model."""
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        lr: float,
+        *,
+        aggregator: Aggregator | None = None,
+        update_filter: UpdateFilter | None = None,
+        audit_log: ServerAuditLog | None = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.lr = lr
+        self.aggregator = aggregator if aggregator is not None else SumAggregator()
+        self.update_filter = update_filter
+        self.audit_log = audit_log
+        self._seed = seed
+
+    def sample_users(self, num_users_total: int, batch: int, round_idx: int) -> np.ndarray:
+        """Uniformly sample the participant set U_r for a round."""
+        rng = spawn(self._seed, "server-sample", round_idx)
+        batch = min(batch, num_users_total)
+        return rng.choice(num_users_total, size=batch, replace=False)
+
+    def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        """Aggregate uploads and take one SGD step on the global model."""
+        if not updates:
+            return
+        if self.audit_log is not None:
+            # Log the raw uploads, before any defense filter touches
+            # them, so the record reflects what clients actually sent.
+            self.audit_log.record(updates)
+        if self.update_filter is not None:
+            updates = self.update_filter(updates)
+
+        self._apply_item_updates(updates)
+        self._apply_param_updates(updates)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _apply_item_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        per_item: dict[int, list[np.ndarray]] = {}
+        for update in updates:
+            for item_id, grad in zip(update.item_ids, update.item_grads):
+                per_item.setdefault(int(item_id), []).append(grad)
+
+        if not per_item:
+            return
+        item_ids = np.fromiter(per_item.keys(), dtype=np.int64, count=len(per_item))
+        deltas = np.empty((len(item_ids), self.model.embedding_dim))
+        for row, item_id in enumerate(item_ids):
+            stack = np.stack(per_item[int(item_id)])
+            deltas[row] = -self.lr * self.aggregator.aggregate(stack)
+        self.model.apply_item_update(item_ids, deltas)
+
+    def _apply_param_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        params = self.model.interaction_params()
+        if not params:
+            return
+        contributions = [u.param_grads for u in updates if u.param_grads]
+        if not contributions:
+            return
+        deltas: list[np.ndarray] = []
+        for index, param in enumerate(params):
+            stack = np.stack([grads[index] for grads in contributions])
+            if stack.shape[1:] != param.shape:
+                raise ValueError(
+                    f"parameter gradient shape {stack.shape[1:]} does not "
+                    f"match parameter {param.shape}"
+                )
+            deltas.append(-self.lr * self.aggregator.aggregate(stack))
+        self.model.apply_param_update(deltas)

@@ -1,0 +1,225 @@
+"""End-to-end federated training simulation with attack/defense hooks.
+
+One :class:`FederatedSimulation` reproduces the full protocol of
+Section III: benign clients (one per dataset user), optionally injected
+malicious clients (Section III-B), a server with plain-sum or robust
+aggregation, and periodic evaluation of attack effectiveness (ER@K)
+and recommendation performance (HR@K).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.base import select_target_items
+from repro.attacks.registry import build_malicious_clients, num_malicious_for_ratio
+from repro.config import AttackConfig, ExperimentConfig
+from repro.datasets.base import InteractionDataset
+from repro.datasets.loaders import load_dataset
+from repro.defenses.registry import build_server_defense, client_regularizer_factory
+from repro.federated.audit import ServerAuditLog
+from repro.federated.client import BenignClient
+from repro.federated.server import Server
+from repro.metrics.ranking import (
+    exposure_ratio_at_k,
+    hit_ratio_at_k,
+    sample_eval_negatives,
+)
+from repro.models.base import build_model
+from repro.rng import spawn
+
+__all__ = ["EvalRecord", "SimulationResult", "FederatedSimulation"]
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One evaluation snapshot during training."""
+
+    round_idx: int
+    exposure: float
+    hit_ratio: float
+
+
+@dataclass
+class SimulationResult:
+    """Final metrics plus the evaluation history of one simulation."""
+
+    exposure: float
+    hit_ratio: float
+    targets: np.ndarray
+    rounds_run: int
+    history: list[EvalRecord] = field(default_factory=list)
+    item_history: list[np.ndarray] = field(default_factory=list)
+    seconds_per_round: float = 0.0
+
+
+class FederatedSimulation:
+    """Builds and runs one full federated experiment."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        dataset: InteractionDataset | None = None,
+        *,
+        audit: bool = False,
+    ):
+        self.config = config
+        self.dataset = dataset if dataset is not None else load_dataset(config.dataset)
+        self.model = build_model(
+            config.model.kind,
+            self.dataset.num_items,
+            config.model.embedding_dim,
+            mlp_layers=config.model.mlp_layers,
+            init_scale=config.model.init_scale,
+            seed=config.model.seed,
+        )
+
+        attack_cfg = config.attack if config.attack is not None else AttackConfig(
+            name="none", malicious_ratio=0.0
+        )
+        self.attack_cfg = attack_cfg
+        self.targets = self._select_targets(attack_cfg)
+
+        regularizer_factory = client_regularizer_factory(
+            config.defense, self.dataset.num_items
+        )
+        self.benign_clients = [
+            BenignClient(
+                user,
+                self.dataset.train_pos[user],
+                self.dataset.num_items,
+                config.model.embedding_dim,
+                seed=config.seed,
+                init_scale=config.model.init_scale,
+                regularizer=regularizer_factory() if regularizer_factory else None,
+            )
+            for user in range(self.dataset.num_users)
+        ]
+
+        num_malicious = num_malicious_for_ratio(
+            self.dataset.num_users, attack_cfg.malicious_ratio
+        )
+        self.malicious_clients = build_malicious_clients(
+            attack_cfg.name,
+            dataset=self.dataset,
+            config=attack_cfg,
+            targets=self.targets,
+            embedding_dim=config.model.embedding_dim,
+            num_malicious=num_malicious if attack_cfg.name != "none" else 0,
+            first_user_id=self.dataset.num_users,
+            seed=config.seed,
+        )
+
+        aggregator, update_filter = build_server_defense(config.defense)
+        self.audit_log = ServerAuditLog() if audit else None
+        self.server = Server(
+            self.model,
+            config.train.lr,
+            aggregator=aggregator,
+            update_filter=update_filter,
+            audit_log=self.audit_log,
+            seed=config.seed,
+        )
+        self._eval_negatives = sample_eval_negatives(
+            self.dataset, config.train.eval_num_negatives, config.seed
+        )
+        self._train_mask = self.dataset.train_mask()
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+
+    def _select_targets(self, attack_cfg: AttackConfig) -> np.ndarray:
+        if attack_cfg.target_items is not None:
+            targets = np.asarray(attack_cfg.target_items, dtype=np.int64)
+            if len(targets) == 0:
+                raise ValueError("target_items must not be empty")
+            return targets
+        rng = spawn(self.config.seed, "targets")
+        return select_target_items(self.dataset, attack_cfg.num_targets, rng)
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+
+    @property
+    def total_users(self) -> int:
+        """Benign + injected malicious user count (the paper's |U|)."""
+        return len(self.benign_clients) + len(self.malicious_clients)
+
+    def run_round(self, round_idx: int) -> None:
+        """Execute one communication round (steps 1-4 of Section III-A)."""
+        sampled = self.server.sample_users(
+            self.total_users, self.config.train.users_per_round, round_idx
+        )
+        updates = []
+        num_benign = len(self.benign_clients)
+        for user_id in sampled:
+            user_id = int(user_id)
+            if user_id < num_benign:
+                update = self.benign_clients[user_id].participate(
+                    self.model, self.config.train, round_idx
+                )
+            else:
+                update = self.malicious_clients[user_id - num_benign].participate(
+                    self.model, self.config.train, round_idx
+                )
+            if update is not None:
+                updates.append(update)
+        self.server.apply_updates(updates)
+
+    def run(
+        self,
+        rounds: int | None = None,
+        *,
+        record_item_history: bool = False,
+        history_stride: int = 1,
+    ) -> SimulationResult:
+        """Train for ``rounds`` rounds, evaluating per the train config."""
+        train_cfg = self.config.train
+        rounds = train_cfg.rounds if rounds is None else rounds
+        history: list[EvalRecord] = []
+        item_history: list[np.ndarray] = []
+        started = time.perf_counter()
+        for round_idx in range(rounds):
+            if record_item_history and round_idx % history_stride == 0:
+                item_history.append(self.model.snapshot_items())
+            self.run_round(round_idx)
+            if train_cfg.eval_every and (round_idx + 1) % train_cfg.eval_every == 0:
+                exposure, hit_ratio = self.evaluate()
+                history.append(EvalRecord(round_idx + 1, exposure, hit_ratio))
+        elapsed = time.perf_counter() - started
+        if record_item_history:
+            item_history.append(self.model.snapshot_items())
+
+        exposure, hit_ratio = self.evaluate()
+        if not history or history[-1].round_idx != rounds:
+            history.append(EvalRecord(rounds, exposure, hit_ratio))
+        return SimulationResult(
+            exposure=exposure,
+            hit_ratio=hit_ratio,
+            targets=self.targets,
+            rounds_run=rounds,
+            history=history,
+            item_history=item_history,
+            seconds_per_round=elapsed / max(rounds, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def user_embedding_matrix(self) -> np.ndarray:
+        """Stack of all benign users' private embeddings (analysis only)."""
+        return np.stack([c.user_embedding for c in self.benign_clients])
+
+    def evaluate(self, k: int | None = None) -> tuple[float, float]:
+        """Compute (ER@K, HR@K) over benign users."""
+        k = self.config.train.top_k if k is None else k
+        scores = self.model.score_matrix(self.user_embedding_matrix())
+        exposure = exposure_ratio_at_k(scores, self._train_mask, self.targets, k)
+        hit_ratio = hit_ratio_at_k(scores, self.dataset, self._eval_negatives, k)
+        return exposure, hit_ratio

@@ -1,0 +1,73 @@
+"""Additional recommendation metrics: NDCG@K and exposure concentration.
+
+These complement the paper's ER@K / HR@K: NDCG@K is the standard
+graded-ranking companion of HR@K in the NCF evaluation protocol, and
+the exposure Gini quantifies how concentrated the recommendation slots
+are on few items — a system-level view of the popularity bias that
+PIECK exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import InteractionDataset
+from repro.metrics.ranking import top_k_items
+
+__all__ = ["ndcg_at_k", "exposure_distribution", "exposure_gini"]
+
+
+def ndcg_at_k(
+    scores: np.ndarray,
+    dataset: InteractionDataset,
+    eval_negatives: list[np.ndarray],
+    k: int,
+) -> float:
+    """NDCG@K under the leave-one-out protocol (He et al.).
+
+    With a single relevant item per user the ideal DCG is 1, so
+    NDCG@K reduces to ``1 / log2(rank + 2)`` when the held-out item
+    ranks within the top-K against the sampled negatives, else 0.
+    """
+    gains = []
+    for user in range(dataset.num_users):
+        test_item = int(dataset.test_items[user])
+        if test_item < 0:
+            continue
+        negs = eval_negatives[user]
+        if len(negs) == 0:
+            continue
+        test_score = scores[user, test_item]
+        rank = float(
+            np.sum(scores[user, negs] > test_score)
+            + 0.5 * np.sum(scores[user, negs] == test_score)
+        )
+        gains.append(1.0 / np.log2(rank + 2.0) if rank < k else 0.0)
+    return float(np.mean(gains)) if gains else 0.0
+
+
+def exposure_distribution(
+    scores: np.ndarray, train_mask: np.ndarray, k: int
+) -> np.ndarray:
+    """Per-item count of top-K recommendation slots across all users."""
+    tops = top_k_items(scores, train_mask, k)
+    counts = np.zeros(scores.shape[1], dtype=np.int64)
+    valid = tops[tops >= 0]
+    np.add.at(counts, valid, 1)
+    return counts
+
+
+def exposure_gini(scores: np.ndarray, train_mask: np.ndarray, k: int) -> float:
+    """Gini coefficient of the recommendation-slot distribution.
+
+    0 means every item is recommended equally often; values near 1 mean
+    a few (typically popular) items absorb almost all slots.
+    """
+    counts = exposure_distribution(scores, train_mask, k).astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    ordered = np.sort(counts)
+    n = len(ordered)
+    lorenz_area = (np.cumsum(ordered) / total).sum() / n
+    return float(1.0 - 2.0 * lorenz_area + 1.0 / n)

@@ -1,0 +1,126 @@
+"""Ranking metrics: ER@K (Eq. 3) and HR@K (leave-one-out protocol).
+
+ER@K measures attack success: the fraction of eligible benign users
+whose top-K recommendation list contains a target item, averaged over
+targets. HR@K measures recommendation quality: whether the held-out
+test item ranks in the top-K against sampled negatives (NCF protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import InteractionDataset
+from repro.rng import spawn
+
+__all__ = ["top_k_items", "exposure_ratio_at_k", "hit_ratio_at_k", "sample_eval_negatives"]
+
+
+def top_k_items(scores: np.ndarray, train_mask: np.ndarray, k: int) -> np.ndarray:
+    """Per-user top-K uninteracted items from a score matrix.
+
+    ``scores`` is (U, m) logits; training interactions are excluded from
+    recommendation (users are only recommended new items). Returns an
+    (U, k) array of item ids; slots beyond a user's recommendable pool
+    (when K exceeds it) hold the sentinel ``-1``.
+    """
+    if scores.shape != train_mask.shape:
+        raise ValueError("scores and train_mask shapes differ")
+    masked = np.where(train_mask, -np.inf, scores)
+    k = min(k, scores.shape[1])
+    part = np.argpartition(-masked, kth=k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(masked, part, axis=1)
+    order = np.argsort(-row_scores, axis=1, kind="stable")
+    top = np.take_along_axis(part, order, axis=1)
+    # Never recommend a masked item, even when K exceeds the pool.
+    top_scores = np.take_along_axis(masked, top, axis=1)
+    top[np.isneginf(top_scores)] = -1
+    return top
+
+
+def exposure_ratio_at_k(
+    scores: np.ndarray,
+    train_mask: np.ndarray,
+    target_items: np.ndarray,
+    k: int,
+) -> float:
+    """ER@K (Eq. 3), averaged over target items.
+
+    For each target ``v_j``: the fraction of benign users who have *not*
+    interacted with ``v_j`` whose top-K list contains ``v_j``. Rows of
+    ``scores`` should cover benign users only.
+    """
+    target_items = np.atleast_1d(np.asarray(target_items))
+    if len(target_items) == 0:
+        raise ValueError("no target items given")
+    tops = top_k_items(scores, train_mask, k)
+    ratios = []
+    for target in target_items:
+        eligible = ~train_mask[:, target]
+        if not eligible.any():
+            ratios.append(0.0)
+            continue
+        hit = (tops[eligible] == target).any(axis=1)
+        ratios.append(float(hit.mean()))
+    return float(np.mean(ratios))
+
+
+def sample_eval_negatives(
+    dataset: InteractionDataset, num_negatives: int, seed: int
+) -> list[np.ndarray]:
+    """Fixed per-user negative samples for HR@K evaluation.
+
+    The NCF protocol ranks the held-out test item against ``num_negatives``
+    items the user has not interacted with. Sampling once (deterministic
+    in the seed) keeps HR@K comparable across rounds and methods.
+    """
+    negatives: list[np.ndarray] = []
+    for user in range(dataset.num_users):
+        rng = spawn(seed, "eval-neg", user)
+        banned = dataset.train_set(user) | {int(dataset.test_items[user])}
+        pool_size = dataset.num_items - len(banned)
+        count = min(num_negatives, max(pool_size, 0))
+        chosen: list[int] = []
+        seen: set[int] = set()
+        while len(chosen) < count:
+            draw = rng.integers(0, dataset.num_items, size=max(2 * count, 8))
+            for j in draw:
+                j = int(j)
+                if j in banned or j in seen:
+                    continue
+                seen.add(j)
+                chosen.append(j)
+                if len(chosen) == count:
+                    break
+        negatives.append(np.asarray(chosen, dtype=np.int64))
+    return negatives
+
+
+def hit_ratio_at_k(
+    scores: np.ndarray,
+    dataset: InteractionDataset,
+    eval_negatives: list[np.ndarray],
+    k: int,
+) -> float:
+    """HR@K under leave-one-out with sampled negatives.
+
+    For each user with a held-out test item: hit if the test item's
+    score beats all but at most ``k - 1`` of the sampled negatives.
+    """
+    hits = []
+    for user in range(dataset.num_users):
+        test_item = int(dataset.test_items[user])
+        if test_item < 0:
+            continue
+        negs = eval_negatives[user]
+        if len(negs) == 0:
+            continue
+        test_score = scores[user, test_item]
+        # Ties count half a loss each, so a degenerate constant-output
+        # model scores ~k/(negatives+1) instead of a spurious 100%.
+        rank = float(
+            np.sum(scores[user, negs] > test_score)
+            + 0.5 * np.sum(scores[user, negs] == test_score)
+        )
+        hits.append(1.0 if rank < k else 0.0)
+    return float(np.mean(hits)) if hits else 0.0

@@ -1,0 +1,142 @@
+"""Abstract recommender model interface shared by MF-FRS and DL-FRS.
+
+The interface is deliberately low-level: callers pass explicit user
+vectors and item vectors, so the same code paths serve
+
+* benign client training (real user embedding, local item batch),
+* PIECK-UEA, which substitutes *popular item embeddings* for the
+  private user embeddings it cannot see (Eq. 10), and
+* evaluation, which scores whole user x item matrices.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["GradientBundle", "RecommenderModel", "build_model"]
+
+
+@dataclass
+class GradientBundle:
+    """Gradients from one backward pass through the interaction function.
+
+    ``users`` / ``items`` are per-row gradients w.r.t. the user / item
+    vectors fed to ``forward``; ``params`` are gradients of the global
+    learnable interaction parameters (empty for MF-FRS, whose dot
+    product is fixed — the key fact that defeats A-ra / A-hum there).
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    params: list[np.ndarray] = field(default_factory=list)
+
+
+class RecommenderModel(ABC):
+    """Base model: item embedding table + interaction function.
+
+    The *global model* of the FRS is exactly this object's state: the
+    item embedding matrix, plus (for DL-FRS) the MLP tower parameters.
+    User embeddings never live here — they are private to clients
+    (Section III-A).
+    """
+
+    def __init__(self, num_items: int, embedding_dim: int):
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.item_embeddings = np.zeros((num_items, embedding_dim))
+
+    # ------------------------------------------------------------------
+    # Interaction function
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def forward(
+        self, user_vecs: np.ndarray, item_vecs: np.ndarray
+    ) -> tuple[np.ndarray, Any]:
+        """Compute logits for row-aligned user/item vector pairs.
+
+        ``user_vecs`` may be a single (d,) vector broadcast over all
+        items, or an (n, d) batch aligned with ``item_vecs`` (n, d).
+        Returns ``(logits, cache)``; the predicted score of the paper
+        is ``sigmoid(logits)``.
+        """
+
+    @abstractmethod
+    def backward(self, cache: Any, dlogits: np.ndarray) -> GradientBundle:
+        """Backprop logit gradients to user/item/parameter gradients."""
+
+    @abstractmethod
+    def score_matrix(self, user_matrix: np.ndarray) -> np.ndarray:
+        """Logits for every (user, item) pair: shape (U, num_items)."""
+
+    # ------------------------------------------------------------------
+    # Global parameter plumbing (item table + interaction parameters)
+    # ------------------------------------------------------------------
+
+    def interaction_params(self) -> list[np.ndarray]:
+        """Learnable interaction-function parameters (live views)."""
+        return []
+
+    def apply_item_update(self, item_ids: np.ndarray, delta: np.ndarray) -> None:
+        """Add ``delta`` rows to the given item embeddings in place."""
+        np.add.at(self.item_embeddings, item_ids, delta)
+
+    def apply_param_update(self, deltas: list[np.ndarray]) -> None:
+        """Add deltas to the interaction parameters in place."""
+        params = self.interaction_params()
+        if len(deltas) != len(params):
+            raise ValueError(
+                f"expected {len(params)} parameter deltas, got {len(deltas)}"
+            )
+        for param, delta in zip(params, deltas):
+            param += delta
+
+    def snapshot_items(self) -> np.ndarray:
+        """Copy of the item embedding matrix (what a client 'receives')."""
+        return self.item_embeddings.copy()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pair_user_vecs(user_vecs: np.ndarray, item_vecs: np.ndarray) -> np.ndarray:
+        """Broadcast a single user vector over an item batch if needed."""
+        if user_vecs.ndim == 1:
+            return np.broadcast_to(user_vecs, item_vecs.shape)
+        if user_vecs.shape != item_vecs.shape:
+            raise ValueError(
+                f"user batch {user_vecs.shape} does not align with item "
+                f"batch {item_vecs.shape}"
+            )
+        return user_vecs
+
+
+def build_model(
+    kind: str,
+    num_items: int,
+    embedding_dim: int,
+    *,
+    mlp_layers: tuple[int, ...] = (32, 16),
+    init_scale: float = 0.1,
+    seed: int = 0,
+) -> RecommenderModel:
+    """Factory for the two base models evaluated in the paper."""
+    from repro.models.mf import MFModel
+    from repro.models.ncf import NCFModel
+
+    if kind == "mf":
+        return MFModel(num_items, embedding_dim, init_scale=init_scale, seed=seed)
+    if kind == "ncf":
+        return NCFModel(
+            num_items,
+            embedding_dim,
+            mlp_layers=mlp_layers,
+            init_scale=init_scale,
+            seed=seed,
+        )
+    raise ValueError(f"unknown model kind {kind!r}; expected 'mf' or 'ncf'")

@@ -1,0 +1,64 @@
+"""Loss functions with analytic gradients w.r.t. model logits.
+
+All models output raw *logits*; predicted scores are ``sigmoid(logit)``
+so that scores fall in [0, 1] as the paper's BCE formulation requires
+(Eq. 2). Working in logit space gives the numerically stable
+log-sum-exp forms below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sigmoid", "log_sigmoid", "bce_loss_and_grad", "bpr_loss_and_grad"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(sigmoid(x))``."""
+    return -np.logaddexp(0.0, -x)
+
+
+def bce_loss_and_grad(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy (Eq. 2) and its gradient w.r.t. logits.
+
+    The mean over the local batch matches the ``1/|D_i|`` factor in the
+    paper's per-client loss. Gradient: ``(sigmoid(logit) - label) / n``.
+    """
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must have matching shapes")
+    n = max(len(logits), 1)
+    # BCE(logit, y) = -y*log(sig) - (1-y)*log(1-sig)
+    #              = logaddexp(0, logit) - y*logit   (stable form)
+    loss = float(np.mean(np.logaddexp(0.0, logits) - labels * logits))
+    grad = (sigmoid(logits) - labels) / n
+    return loss, grad
+
+
+def bpr_loss_and_grad(
+    pos_logits: np.ndarray, neg_logits: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Bayesian Personalised Ranking loss (supplementary E).
+
+    BPR maximises ``log sigmoid(s_pos - s_neg)`` over paired positive /
+    negative items. Returns ``(loss, d/d pos_logits, d/d neg_logits)``.
+    """
+    if pos_logits.shape != neg_logits.shape:
+        raise ValueError("BPR requires paired positives and negatives")
+    n = max(len(pos_logits), 1)
+    diff = pos_logits - neg_logits
+    loss = float(np.mean(np.logaddexp(0.0, -diff)))
+    # d/d diff of -log sigmoid(diff) is sigmoid(diff) - 1.
+    ddiff = (sigmoid(diff) - 1.0) / n
+    return loss, ddiff, -ddiff

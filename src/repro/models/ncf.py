@@ -1,0 +1,72 @@
+"""DL-FRS: neural collaborative filtering with a learnable MLP tower.
+
+``logit(u, v) = h . relu(W_L ... relu(W_1 (u ++ v) + b_1) ... + b_L)``
+(Eq. 1). The MLP parameters are part of the shared global model and
+are trained collaboratively — and therefore poisonable, which is what
+makes DL-FRS the softer target in Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.models.base import GradientBundle, RecommenderModel
+from repro.models.mlp import MLPTower
+from repro.rng import spawn
+
+__all__ = ["NCFModel"]
+
+
+class NCFModel(RecommenderModel):
+    """NCF global model: item embedding table + MLP tower parameters."""
+
+    kind = "ncf"
+
+    def __init__(
+        self,
+        num_items: int,
+        embedding_dim: int,
+        *,
+        mlp_layers: tuple[int, ...] = (32, 16),
+        init_scale: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__(num_items, embedding_dim)
+        rng = spawn(seed, "ncf-init")
+        self.item_embeddings = rng.normal(
+            scale=init_scale, size=(num_items, embedding_dim)
+        )
+        self.tower = MLPTower(2 * embedding_dim, mlp_layers, rng, scale=init_scale)
+
+    def interaction_params(self) -> list[np.ndarray]:
+        return self.tower.param_list()
+
+    def forward(
+        self, user_vecs: np.ndarray, item_vecs: np.ndarray
+    ) -> tuple[np.ndarray, Any]:
+        users = self._pair_user_vecs(user_vecs, item_vecs)
+        x = np.concatenate([users, item_vecs], axis=1)
+        logits, cache = self.tower.forward(x)
+        return logits, cache
+
+    def backward(self, cache: Any, dlogits: np.ndarray) -> GradientBundle:
+        dx, param_grads = self.tower.backward(cache, dlogits)
+        d = self.embedding_dim
+        return GradientBundle(users=dx[:, :d], items=dx[:, d:], params=param_grads)
+
+    def score_matrix(self, user_matrix: np.ndarray) -> np.ndarray:
+        num_users = user_matrix.shape[0]
+        scores = np.empty((num_users, self.num_items))
+        items = self.item_embeddings
+        for row in range(num_users):
+            user = np.broadcast_to(user_matrix[row], items.shape)
+            x = np.concatenate([user, items], axis=1)
+            logits, _ = self.tower.forward(x)
+            scores[row] = logits
+        return scores
+
+    def init_user_embedding(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        """Draw a fresh private user embedding (client-side init)."""
+        return rng.normal(scale=scale, size=self.embedding_dim)

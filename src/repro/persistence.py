@@ -1,0 +1,95 @@
+"""Persistence: save and load experiment results and model state.
+
+A reproduction harness lives or dies by being able to archive runs:
+``save_result`` / ``load_result`` serialise a
+:class:`repro.federated.SimulationResult` (metrics + history) as JSON,
+and ``save_model`` / ``load_model`` checkpoint a global model's item
+embeddings and interaction parameters as a NumPy archive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.federated.simulation import EvalRecord, SimulationResult
+from repro.models.base import RecommenderModel
+
+__all__ = ["save_result", "load_result", "save_model", "load_model"]
+
+
+def save_result(result: SimulationResult, path: str) -> None:
+    """Serialise a simulation result (without item history) to JSON."""
+    payload = {
+        "exposure": result.exposure,
+        "hit_ratio": result.hit_ratio,
+        "targets": result.targets.tolist(),
+        "rounds_run": result.rounds_run,
+        "seconds_per_round": result.seconds_per_round,
+        "history": [
+            {
+                "round_idx": rec.round_idx,
+                "exposure": rec.exposure,
+                "hit_ratio": rec.hit_ratio,
+            }
+            for rec in result.history
+        ],
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_result(path: str) -> SimulationResult:
+    """Load a simulation result saved by :func:`save_result`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return SimulationResult(
+        exposure=payload["exposure"],
+        hit_ratio=payload["hit_ratio"],
+        targets=np.asarray(payload["targets"], dtype=np.int64),
+        rounds_run=payload["rounds_run"],
+        seconds_per_round=payload.get("seconds_per_round", 0.0),
+        history=[
+            EvalRecord(rec["round_idx"], rec["exposure"], rec["hit_ratio"])
+            for rec in payload["history"]
+        ],
+    )
+
+
+def save_model(model: RecommenderModel, path: str) -> None:
+    """Checkpoint a global model (item embeddings + interaction params)."""
+    arrays = {"item_embeddings": model.item_embeddings}
+    for index, param in enumerate(model.interaction_params()):
+        arrays[f"param_{index}"] = param
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_model(model: RecommenderModel, path: str) -> RecommenderModel:
+    """Restore a checkpoint into a structurally matching model in place."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        items = data["item_embeddings"]
+        if items.shape != model.item_embeddings.shape:
+            raise ValueError(
+                f"checkpoint item table {items.shape} does not match model "
+                f"{model.item_embeddings.shape}"
+            )
+        model.item_embeddings[...] = items
+        params = model.interaction_params()
+        stored = sorted(k for k in data.files if k.startswith("param_"))
+        if len(stored) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(stored)} interaction parameters, "
+                f"model expects {len(params)}"
+            )
+        for key, param in zip(stored, params):
+            value = data[key]
+            if value.shape != param.shape:
+                raise ValueError(f"parameter {key} shape mismatch")
+            param[...] = value
+    return model

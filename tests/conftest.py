@@ -1,0 +1,67 @@
+"""Shared fixtures: tiny datasets and experiment configs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    AttackConfig,
+    DatasetConfig,
+    ExperimentConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.datasets.synthetic import generate_longtail_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small long-tail dataset shared by fast tests (read-only)."""
+    return generate_longtail_dataset(
+        num_users=40, num_items=80, num_interactions=900, seed=7, name="tiny"
+    )
+
+
+@pytest.fixture()
+def tiny_mf_config():
+    """A minutes-scale MF experiment config for end-to-end tests."""
+    return ExperimentConfig(
+        dataset=DatasetConfig(name="custom", scale=0.1, seed=3),
+        model=ModelConfig(kind="mf", embedding_dim=8, seed=3),
+        train=TrainConfig(rounds=25, users_per_round=16, lr=1.0),
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def tiny_ncf_config():
+    """A minutes-scale NCF experiment config for end-to-end tests."""
+    return ExperimentConfig(
+        dataset=DatasetConfig(name="custom", scale=0.1, seed=3),
+        model=ModelConfig(kind="ncf", embedding_dim=8, mlp_layers=(16, 8), seed=3),
+        train=TrainConfig(rounds=20, users_per_round=16, lr=0.05),
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def attack_cfg():
+    """Default attack knobs used across attack tests."""
+    return AttackConfig(name="pieck_uea", malicious_ratio=0.1, mining_rounds=2)
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = grad.reshape(-1)
+    x_flat = x.reshape(-1)
+    for index in range(x_flat.size):
+        original = x_flat[index]
+        x_flat[index] = original + eps
+        upper = f(x)
+        x_flat[index] = original - eps
+        lower = f(x)
+        x_flat[index] = original
+        flat[index] = (upper - lower) / (2 * eps)
+    return grad

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import _plot_figure, main
+from repro.experiments.reporting import TableResult
+
+
+class TestList:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pieck_uea" in out
+        assert "regularization" in out
+        assert "ml-100k" in out
+
+
+class TestRun:
+    def test_run_tiny_experiment(self, capsys, tmp_path):
+        result_path = str(tmp_path / "out" / "result.json")
+        model_path = str(tmp_path / "out" / "model.npz")
+        code = main(
+            [
+                "run",
+                "--dataset", "ml-100k",
+                "--model", "mf",
+                "--attack", "none",
+                "--rounds", "3",
+                "--eval-every", "2",
+                "--save-result", result_path,
+                "--save-model", model_path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ER@10" in out
+        assert os.path.exists(result_path)
+        assert os.path.exists(model_path)
+        payload = json.load(open(result_path))
+        assert payload["rounds_run"] == 3
+        # eval_every=2 plus the final round evaluation.
+        assert [rec["round_idx"] for rec in payload["history"]] == [2, 3]
+
+    def test_run_with_attack(self, capsys):
+        code = main(
+            ["run", "--attack", "pieck_uea", "--rounds", "3", "--seed", "1"]
+        )
+        assert code == 0
+        assert "pieck_uea" in capsys.readouterr().out
+
+    def test_invalid_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--attack", "not-an-attack"])
+
+    def test_run_with_coordinated_defense(self, capsys):
+        code = main(
+            ["run", "--attack", "pieck_uea", "--defense", "coordinated",
+             "--rounds", "3"]
+        )
+        assert code == 0
+        assert "coordinated" in capsys.readouterr().out
+
+    def test_invalid_table_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "42"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFigurePlots:
+    def test_fig6a_series_plot(self):
+        table = TableResult("Fig 6a", ["Attack", "r50", "r100"])
+        table.add_row("IPE", "90.0 / 50.0", "40.0 / 50.0")
+        table.add_row("UEA", "95.0 / 50.0", "80.0 / 50.0")
+        out = _plot_figure("6a", table)
+        assert "ER@10 over rounds" in out
+        assert "IPE" in out and "UEA" in out
+
+    def test_fig6b_bar_chart(self):
+        table = TableResult("Fig 6b", ["Model", "clean", "attack"])
+        table.add_row("MF", "0.01", "0.02")
+        out = _plot_figure("6b", table)
+        assert "MF clean" in out
+        assert "0.02 s" in out
+
+    def test_fig7_line_plot(self):
+        table = TableResult("Fig 7", ["q", "HR@10 (%)"])
+        table.add_row("1", "44.0")
+        table.add_row("8", "51.0")
+        out = _plot_figure("7", table)
+        assert "HR@10 vs sampling ratio q" in out
+
+    def test_unplottable_figure_returns_none(self):
+        table = TableResult("Fig 3", ["Dataset", "Gini"])
+        table.add_row("ml-100k", "0.7")
+        assert _plot_figure("3", table) is None
+
+
+class TestAudit:
+    def test_audit_command(self, capsys):
+        code = main(["audit", "--attack", "pieck_uea", "--rounds", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Eq.11 predicted" in out
+        assert "mass share" in out
+        # At least one attacked item row is printed.
+        assert len(out.strip().splitlines()) >= 4
+
+    def test_audit_rejects_none_attack(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "--attack", "none"])

@@ -1,0 +1,78 @@
+"""Tests for the long-tail synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.popularity import longtail_summary
+from repro.datasets.synthetic import generate_longtail_dataset
+
+
+class TestShapes:
+    def test_basic_sizes(self, tiny_dataset):
+        assert tiny_dataset.num_users == 40
+        assert tiny_dataset.num_items == 80
+        assert len(tiny_dataset.train_pos) == 40
+        assert len(tiny_dataset.test_items) == 40
+
+    def test_every_user_has_test_item(self, tiny_dataset):
+        assert (tiny_dataset.test_items >= 0).all()
+
+    def test_test_item_not_in_train(self, tiny_dataset):
+        for user in range(tiny_dataset.num_users):
+            assert tiny_dataset.test_items[user] not in tiny_dataset.train_set(user)
+
+    def test_min_interactions_respected(self, tiny_dataset):
+        for items in tiny_dataset.train_pos:
+            assert len(items) >= 2  # 3 minimum minus 1 held out
+
+    def test_train_items_unique_per_user(self, tiny_dataset):
+        for items in tiny_dataset.train_pos:
+            assert len(np.unique(items)) == len(items)
+
+
+class TestDistribution:
+    def test_longtail_head_share(self):
+        data = generate_longtail_dataset(200, 400, 8000, seed=11)
+        summary = longtail_summary(data)
+        # The defining Fig. 3 property: the head is far over-represented.
+        assert summary.head_interaction_share > 0.35
+        assert summary.gini > 0.3
+
+    def test_popularity_exponent_controls_skew(self):
+        flat = generate_longtail_dataset(
+            100, 200, 3000, popularity_exponent=0.1, seed=5
+        )
+        steep = generate_longtail_dataset(
+            100, 200, 3000, popularity_exponent=1.4, seed=5
+        )
+        assert (
+            longtail_summary(steep).head_interaction_share
+            > longtail_summary(flat).head_interaction_share
+        )
+
+    def test_interaction_budget_roughly_met(self):
+        data = generate_longtail_dataset(100, 300, 5000, seed=2)
+        total = data.num_train_interactions + int((data.test_items >= 0).sum())
+        assert 0.7 * 5000 <= total <= 1.3 * 5000
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = generate_longtail_dataset(30, 50, 500, seed=4)
+        b = generate_longtail_dataset(30, 50, 500, seed=4)
+        np.testing.assert_array_equal(a.test_items, b.test_items)
+        for pa, pb in zip(a.train_pos, b.train_pos):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_different_seed_differs(self):
+        a = generate_longtail_dataset(30, 50, 500, seed=4)
+        b = generate_longtail_dataset(30, 50, 500, seed=5)
+        assert any(
+            not np.array_equal(pa, pb) for pa, pb in zip(a.train_pos, b.train_pos)
+        )
+
+
+class TestErrors:
+    def test_insufficient_interactions_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            generate_longtail_dataset(100, 50, 100, seed=0)

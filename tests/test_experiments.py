@@ -1,0 +1,103 @@
+"""Tests for the experiment harness: presets, runner and reporting."""
+
+import pytest
+
+from repro.config import AttackConfig, DefenseConfig
+from repro.experiments.presets import (
+    EXPERIMENT_SCALES,
+    attack_config,
+    dataset_config,
+    defense_config,
+    experiment,
+    model_config,
+    train_config,
+)
+from repro.experiments.reporting import TableResult, format_table
+from repro.experiments.runner import Cell, run_cell
+
+
+class TestPresets:
+    def test_dataset_scale_defaults(self):
+        assert dataset_config("ml-100k").scale == EXPERIMENT_SCALES["ml-100k"]
+        assert dataset_config("ml-1m").scale == EXPERIMENT_SCALES["ml-1m"]
+
+    def test_train_presets_per_model(self):
+        assert train_config("mf").lr == 1.0
+        assert train_config("ncf").lr == 0.05
+        assert train_config("mf").rounds == 120
+
+    def test_unknown_model_kind(self):
+        with pytest.raises(ValueError):
+            train_config("gcn")
+
+    def test_defense_gamma_preset_per_model(self):
+        mf = defense_config("regularization", "mf")
+        ncf = defense_config("regularization", "ncf")
+        assert mf.gamma > 0 and ncf.gamma > 0
+
+    def test_defense_gamma_override_wins(self):
+        cfg = defense_config("regularization", "ncf", gamma=3.0)
+        assert cfg.gamma == 3.0
+
+    def test_experiment_accepts_names_and_objects(self):
+        by_name = experiment("ml-100k", "mf", attack="pieck_uea")
+        assert by_name.attack.name == "pieck_uea"
+        custom = AttackConfig(name="pieck_ipe", num_popular=25)
+        by_object = experiment("ml-100k", "mf", attack=custom)
+        assert by_object.attack.num_popular == 25
+
+    def test_experiment_none_attack(self):
+        cfg = experiment("ml-100k", "mf", attack="none")
+        assert cfg.attack is None
+
+    def test_experiment_defense_object(self):
+        cfg = experiment(
+            "ml-100k", "mf", defense=DefenseConfig(name="median")
+        )
+        assert cfg.defense.name == "median"
+
+    def test_attack_config_default_ratio(self):
+        assert attack_config("pieck_uea").malicious_ratio == 0.05
+
+    def test_model_config(self):
+        assert model_config("ncf").kind == "ncf"
+
+
+class TestRunner:
+    def test_run_cell_percent_scale(self, tiny_mf_config):
+        cell = run_cell(tiny_mf_config)
+        assert 0.0 <= cell.er <= 100.0
+        assert 0.0 <= cell.hr <= 100.0
+
+    def test_run_cell_with_shared_dataset(self, tiny_mf_config, tiny_dataset):
+        cell = run_cell(tiny_mf_config, dataset=tiny_dataset)
+        assert isinstance(cell, Cell)
+
+    def test_run_cell_custom_k(self, tiny_mf_config):
+        cell5 = run_cell(tiny_mf_config, k=5)
+        cell20 = run_cell(tiny_mf_config, k=20)
+        assert cell20.hr >= cell5.hr
+
+    def test_cell_format(self):
+        assert str(Cell(er=12.5, hr=50.0)) == " 12.50 / 50.00"
+
+
+class TestReporting:
+    def test_format_alignment(self):
+        table = TableResult("Demo", ["A", "Metric"])
+        table.add_row("row-one", 1.5)
+        table.add_row("r2", "long-value")
+        text = str(table)
+        lines = text.splitlines()
+        assert lines[0] == "== Demo =="
+        # All body lines equally wide.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_row_width_validation(self):
+        table = TableResult("T", ["A", "B"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row("only-one")
+
+    def test_format_table_function(self):
+        text = format_table("T", ["h"], [["x"]])
+        assert "T" in text and "x" in text

@@ -1,0 +1,106 @@
+"""Tests for the Property-3 geometry diagnostics (repro.analysis.geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.geometry import (
+    AlignmentReport,
+    alignment_report,
+    centroid_cosine,
+    property3_report,
+)
+from repro.experiments import experiment
+from repro.federated.simulation import FederatedSimulation
+
+
+class TestCentroidCosine:
+    def test_identical_sets_give_one(self):
+        a = np.random.default_rng(0).normal(0, 1, (5, 4))
+        assert centroid_cosine(a, a) == pytest.approx(1.0)
+
+    def test_opposite_sets_give_minus_one(self):
+        a = np.ones((3, 4))
+        assert centroid_cosine(a, -a) == pytest.approx(-1.0)
+
+    def test_zero_centroid_gives_zero(self):
+        a = np.ones((2, 4))
+        b = np.stack([np.ones(4), -np.ones(4)])  # centroid is zero
+        assert centroid_cosine(a, b) == 0.0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            centroid_cosine(np.ones(4), np.ones((2, 4)))
+
+    @given(
+        arrays(np.float64, (4, 3), elements=st.floats(-10, 10)),
+        arrays(np.float64, (5, 3), elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_in_unit_interval(self, a, b):
+        value = centroid_cosine(a, b)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestAlignmentReport:
+    def test_perfect_alignment(self):
+        users = np.tile(np.array([1.0, 0.0, 0.0]), (6, 1))
+        report = alignment_report(users, users[:2])
+        assert report.centroid_cos == pytest.approx(1.0)
+        assert report.mean_user_cos == pytest.approx(1.0)
+        assert report.positive_user_fraction == 1.0
+        assert report.norm_ratio == pytest.approx(1.0)
+
+    def test_anti_alignment(self):
+        users = np.tile(np.array([1.0, 0.0]), (4, 1))
+        report = alignment_report(users, -2.0 * users[:2])
+        assert report.centroid_cos == pytest.approx(-1.0)
+        assert report.positive_user_fraction == 0.0
+        assert report.norm_ratio == pytest.approx(2.0)
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            alignment_report(np.empty((0, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            alignment_report(np.ones((2, 3)), np.empty((0, 3)))
+
+    def test_zero_user_norm_is_safe(self):
+        users = np.zeros((3, 4))
+        report = alignment_report(users, np.ones((2, 4)))
+        assert np.isfinite(report.mean_user_cos)
+        assert report.norm_ratio == 0.0
+
+    def test_is_frozen_dataclass(self):
+        report = alignment_report(np.ones((2, 3)), np.ones((2, 3)))
+        assert isinstance(report, AlignmentReport)
+        with pytest.raises(AttributeError):
+            report.centroid_cos = 0.0
+
+
+class TestProperty3Report:
+    @pytest.fixture(scope="class")
+    def sims(self):
+        """Short clean runs at q=1 and q=10 on the smallest preset."""
+        out = {}
+        for q in (1, 10):
+            config = experiment(
+                "ml-100k", "mf", seed=0, negative_ratio=q, rounds=60
+            )
+            sim = FederatedSimulation(config)
+            sim.run()
+            out[q] = sim
+        return out
+
+    def test_alignment_holds_at_default_q(self, sims):
+        report = property3_report(sims[1])
+        assert report.centroid_cos > 0.7
+        assert report.positive_user_fraction > 0.8
+
+    def test_alignment_degrades_at_large_q(self, sims):
+        # The q=10 breakdown that motivates pseudo-user refinement:
+        # the popular-item centroid decouples from the user centroid.
+        default = property3_report(sims[1])
+        heavy = property3_report(sims[10])
+        assert heavy.centroid_cos < default.centroid_cos

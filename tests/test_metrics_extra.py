@@ -1,0 +1,88 @@
+"""Tests for NDCG@K and exposure-concentration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import InteractionDataset
+from repro.metrics.extra import exposure_distribution, exposure_gini, ndcg_at_k
+from repro.metrics.ranking import sample_eval_negatives
+
+
+def small_dataset():
+    train_pos = [np.array([0, 1]), np.array([2, 3])]
+    test_items = np.array([4, 5])
+    return InteractionDataset("m", 2, 6, train_pos, test_items)
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        scores[0, 4] = 9.0
+        scores[1, 5] = 9.0
+        assert ndcg_at_k(scores, data, negatives, 3) == pytest.approx(1.0)
+
+    def test_rank_discount(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        # Test items beaten by exactly one negative -> rank 1.
+        scores[0, negatives[0][0]] = 9.0
+        scores[0, 4] = 5.0
+        scores[1, negatives[1][0]] = 9.0
+        scores[1, 5] = 5.0
+        expected = 1.0 / np.log2(3.0)
+        assert ndcg_at_k(scores, data, negatives, 3) == pytest.approx(expected)
+
+    def test_miss_is_zero(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        scores[0, 4] = -9.0
+        scores[1, 5] = -9.0
+        assert ndcg_at_k(scores, data, negatives, 3) == 0.0
+
+    def test_never_exceeds_hit_ratio(self):
+        from repro.metrics.ranking import hit_ratio_at_k
+
+        rng = np.random.default_rng(0)
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = rng.normal(size=(2, 6))
+        hr = hit_ratio_at_k(scores, data, negatives, 2)
+        ndcg = ndcg_at_k(scores, data, negatives, 2)
+        assert ndcg <= hr + 1e-12
+
+
+class TestExposure:
+    def test_distribution_counts_slots(self):
+        scores = np.array([[3.0, 2.0, 1.0], [3.0, 2.0, 1.0]])
+        mask = np.zeros((2, 3), dtype=bool)
+        counts = exposure_distribution(scores, mask, 2)
+        np.testing.assert_array_equal(counts, [2, 2, 0])
+
+    def test_distribution_respects_mask(self):
+        scores = np.array([[3.0, 2.0, 1.0]])
+        mask = np.array([[True, False, False]])
+        counts = exposure_distribution(scores, mask, 2)
+        np.testing.assert_array_equal(counts, [0, 1, 1])
+
+    def test_gini_uniform_zero(self):
+        # Every item recommended equally often.
+        scores = np.tile(np.array([[2.0, 1.0]]), (2, 1))
+        scores[1] = scores[1][::-1]
+        mask = np.zeros((2, 2), dtype=bool)
+        assert exposure_gini(scores, mask, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_high(self):
+        # All users get the same single item.
+        scores = np.zeros((4, 10))
+        scores[:, 3] = 5.0
+        mask = np.zeros((4, 10), dtype=bool)
+        assert exposure_gini(scores, mask, 1) > 0.8
+
+    def test_gini_zero_when_no_slots(self):
+        scores = np.zeros((1, 3))
+        mask = np.ones((1, 3), dtype=bool)
+        assert exposure_gini(scores, mask, 2) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for ER@K and HR@K ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import InteractionDataset
+from repro.metrics.ranking import (
+    exposure_ratio_at_k,
+    hit_ratio_at_k,
+    sample_eval_negatives,
+    top_k_items,
+)
+
+
+def small_dataset():
+    train_pos = [np.array([0, 1]), np.array([2, 3])]
+    test_items = np.array([4, 5])
+    return InteractionDataset("m", 2, 6, train_pos, test_items)
+
+
+class TestTopK:
+    def test_excludes_train_items(self):
+        scores = np.array([[9.0, 8.0, 1.0, 2.0, 3.0, 0.0]])
+        mask = np.zeros((1, 6), dtype=bool)
+        mask[0, [0, 1]] = True
+        top = top_k_items(scores, mask, 3)
+        assert set(top[0].tolist()) == {2, 3, 4}
+
+    def test_ordering_descending(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        mask = np.zeros((1, 4), dtype=bool)
+        np.testing.assert_array_equal(top_k_items(scores, mask, 3)[0], [1, 3, 2])
+
+    def test_k_larger_than_items(self):
+        scores = np.array([[1.0, 2.0]])
+        mask = np.zeros((1, 2), dtype=bool)
+        assert top_k_items(scores, mask, 10).shape == (1, 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_items(np.zeros((1, 3)), np.zeros((1, 4), dtype=bool), 2)
+
+
+class TestExposureRatio:
+    def test_full_exposure(self):
+        scores = np.zeros((3, 10))
+        scores[:, 7] = 10.0
+        mask = np.zeros((3, 10), dtype=bool)
+        assert exposure_ratio_at_k(scores, mask, np.array([7]), 1) == 1.0
+
+    def test_zero_exposure(self):
+        scores = np.zeros((3, 10))
+        scores[:, 7] = -10.0
+        mask = np.zeros((3, 10), dtype=bool)
+        assert exposure_ratio_at_k(scores, mask, np.array([7]), 3) == 0.0
+
+    def test_interacted_users_excluded(self):
+        # Both users would rank the target first, but user 0 already
+        # interacted with it, so only user 1 counts (Eq. 3's U_j').
+        scores = np.zeros((2, 5))
+        scores[:, 3] = 10.0
+        mask = np.zeros((2, 5), dtype=bool)
+        mask[0, 3] = True
+        assert exposure_ratio_at_k(scores, mask, np.array([3]), 2) == 1.0
+
+    def test_averaged_over_targets(self):
+        scores = np.zeros((2, 6))
+        scores[:, 1] = 10.0  # target 1 always exposed
+        scores[:, 2] = -10.0  # target 2 never exposed
+        mask = np.zeros((2, 6), dtype=bool)
+        value = exposure_ratio_at_k(scores, mask, np.array([1, 2]), 1)
+        assert value == pytest.approx(0.5)
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            exposure_ratio_at_k(np.zeros((1, 3)), np.zeros((1, 3), dtype=bool), np.array([]), 1)
+
+
+class TestEvalNegatives:
+    def test_negatives_avoid_train_and_test(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        for user in range(2):
+            banned = data.train_set(user) | {int(data.test_items[user])}
+            assert not set(negatives[user].tolist()) & banned
+
+    def test_deterministic(self):
+        data = small_dataset()
+        a = sample_eval_negatives(data, 3, seed=1)
+        b = sample_eval_negatives(data, 3, seed=1)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_count_capped_by_pool(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 99, seed=0)
+        assert all(len(n) == 3 for n in negatives)  # 6 items - 2 train - 1 test
+
+
+class TestHitRatio:
+    def test_perfect_model(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        scores[0, 4] = 5.0
+        scores[1, 5] = 5.0
+        assert hit_ratio_at_k(scores, data, negatives, 1) == 1.0
+
+    def test_worst_model(self):
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        scores[0, 4] = -5.0
+        scores[1, 5] = -5.0
+        assert hit_ratio_at_k(scores, data, negatives, 3) == 0.0
+
+    def test_constant_scores_not_spuriously_perfect(self):
+        # A degenerate constant-output model must not get HR = 1.0;
+        # ties count half a loss each.
+        data = small_dataset()
+        negatives = sample_eval_negatives(data, 3, seed=0)
+        scores = np.zeros((2, 6))
+        assert hit_ratio_at_k(scores, data, negatives, 1) == 0.0
+
+    def test_users_without_test_item_skipped(self):
+        train_pos = [np.array([0]), np.array([1])]
+        test_items = np.array([2, -1])
+        data = InteractionDataset("m", 2, 4, train_pos, test_items)
+        negatives = sample_eval_negatives(data, 2, seed=0)
+        scores = np.zeros((2, 4))
+        scores[0, 2] = 1.0
+        assert hit_ratio_at_k(scores, data, negatives, 1) == 1.0

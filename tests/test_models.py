@@ -1,0 +1,149 @@
+"""Tests for the MF and NCF recommender models."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import build_model
+from repro.models.mf import MFModel
+from repro.models.ncf import NCFModel
+from repro.rng import make_rng
+from tests.conftest import numeric_gradient
+
+
+class TestFactory:
+    def test_builds_mf(self):
+        assert isinstance(build_model("mf", 10, 4), MFModel)
+
+    def test_builds_ncf(self):
+        model = build_model("ncf", 10, 4, mlp_layers=(8,))
+        assert isinstance(model, NCFModel)
+        assert len(model.interaction_params()) == 3  # W1, b1, h
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            build_model("gnn", 10, 4)
+
+
+class TestMFModel:
+    def test_forward_is_dot_product(self):
+        model = MFModel(20, 4, seed=0)
+        rng = make_rng(1)
+        user = rng.normal(size=4)
+        items = model.item_embeddings[:5]
+        logits, _ = model.forward(user, items)
+        np.testing.assert_allclose(logits, items @ user)
+
+    def test_no_interaction_params(self):
+        assert MFModel(5, 3).interaction_params() == []
+
+    def test_backward_exact(self):
+        model = MFModel(20, 4, seed=0)
+        rng = make_rng(2)
+        user = rng.normal(size=4)
+        items = model.item_embeddings[:3]
+        dlogits = rng.normal(size=3)
+        _, cache = model.forward(user, items)
+        bundle = model.backward(cache, dlogits)
+        np.testing.assert_allclose(bundle.items, dlogits[:, None] * user)
+        np.testing.assert_allclose(
+            bundle.users.sum(axis=0), dlogits @ items
+        )
+
+    def test_score_matrix_consistent_with_forward(self):
+        model = MFModel(10, 4, seed=3)
+        users = make_rng(4).normal(size=(3, 4))
+        scores = model.score_matrix(users)
+        for u in range(3):
+            logits, _ = model.forward(users[u], model.item_embeddings)
+            np.testing.assert_allclose(scores[u], logits)
+
+    def test_batched_user_vectors(self):
+        model = MFModel(10, 4, seed=5)
+        users = make_rng(6).normal(size=(4, 4))
+        items = model.item_embeddings[:4]
+        logits, _ = model.forward(users, items)
+        np.testing.assert_allclose(logits, np.einsum("nd,nd->n", users, items))
+
+    def test_misaligned_batch_rejected(self):
+        model = MFModel(10, 4)
+        with pytest.raises(ValueError, match="align"):
+            model.forward(np.zeros((3, 4)), model.item_embeddings[:5])
+
+
+class TestNCFModel:
+    def make_model(self):
+        return NCFModel(12, 4, mlp_layers=(8, 4), seed=7)
+
+    def test_user_item_gradients_numeric(self):
+        model = self.make_model()
+        rng = make_rng(8)
+        user = rng.normal(size=4)
+        items = model.item_embeddings[:3].copy()
+        dlogits = rng.normal(size=3)
+
+        _, cache = model.forward(user, items)
+        bundle = model.backward(cache, dlogits)
+
+        def loss_of_user(u):
+            logits, _ = model.forward(np.broadcast_to(u, items.shape).copy(), items)
+            return float(logits @ dlogits)
+
+        def loss_of_items(v):
+            logits, _ = model.forward(np.broadcast_to(user, v.shape).copy(), v)
+            return float(logits @ dlogits)
+
+        numeric_user = numeric_gradient(
+            lambda u: loss_of_user(u), user.copy()
+        )
+        np.testing.assert_allclose(bundle.users.sum(axis=0), numeric_user, atol=1e-5)
+        numeric_items = numeric_gradient(loss_of_items, items.copy())
+        np.testing.assert_allclose(bundle.items, numeric_items, atol=1e-5)
+
+    def test_param_gradients_flow(self):
+        model = self.make_model()
+        user = make_rng(9).normal(size=4)
+        items = model.item_embeddings[:4]
+        _, cache = model.forward(user, items)
+        bundle = model.backward(cache, np.ones(4))
+        assert len(bundle.params) == len(model.interaction_params())
+        assert any(np.abs(g).sum() > 0 for g in bundle.params)
+
+    def test_score_matrix_consistent(self):
+        model = self.make_model()
+        users = make_rng(10).normal(size=(2, 4))
+        scores = model.score_matrix(users)
+        assert scores.shape == (2, 12)
+        logits, _ = model.forward(
+            np.broadcast_to(users[0], model.item_embeddings.shape).copy(),
+            model.item_embeddings,
+        )
+        np.testing.assert_allclose(scores[0], logits)
+
+    def test_apply_param_update(self):
+        model = self.make_model()
+        before = [p.copy() for p in model.interaction_params()]
+        deltas = [np.ones_like(p) for p in before]
+        model.apply_param_update(deltas)
+        for prev, current in zip(before, model.interaction_params()):
+            np.testing.assert_allclose(current, prev + 1.0)
+
+    def test_apply_param_update_count_mismatch(self):
+        model = self.make_model()
+        with pytest.raises(ValueError, match="deltas"):
+            model.apply_param_update([np.zeros(1)])
+
+
+class TestItemUpdates:
+    def test_apply_item_update_accumulates_duplicates(self):
+        model = MFModel(6, 3, seed=1)
+        before = model.item_embeddings[2].copy()
+        ids = np.array([2, 2])
+        deltas = np.ones((2, 3))
+        model.apply_item_update(ids, deltas)
+        np.testing.assert_allclose(model.item_embeddings[2], before + 2.0)
+
+    def test_snapshot_is_a_copy(self):
+        model = MFModel(6, 3, seed=1)
+        snap = model.snapshot_items()
+        model.item_embeddings[0, 0] += 5.0
+        assert snap[0, 0] != model.item_embeddings[0, 0]

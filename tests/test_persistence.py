@@ -1,0 +1,78 @@
+"""Tests for result/model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.federated.simulation import EvalRecord, SimulationResult
+from repro.models.mf import MFModel
+from repro.models.ncf import NCFModel
+from repro.persistence import load_model, load_result, save_model, save_result
+
+
+def make_result():
+    return SimulationResult(
+        exposure=0.25,
+        hit_ratio=0.5,
+        targets=np.array([3, 7]),
+        rounds_run=100,
+        history=[EvalRecord(50, 0.1, 0.4), EvalRecord(100, 0.25, 0.5)],
+        seconds_per_round=0.01,
+    )
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run" / "result.json")
+        original = make_result()
+        save_result(original, path)
+        loaded = load_result(path)
+        assert loaded.exposure == original.exposure
+        assert loaded.hit_ratio == original.hit_ratio
+        np.testing.assert_array_equal(loaded.targets, original.targets)
+        assert loaded.rounds_run == original.rounds_run
+        assert len(loaded.history) == 2
+        assert loaded.history[1].exposure == 0.25
+
+    def test_item_history_not_persisted(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        result = make_result()
+        result.item_history = [np.zeros((2, 2))]
+        save_result(result, path)
+        assert load_result(path).item_history == []
+
+
+class TestModelRoundtrip:
+    def test_mf_roundtrip(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        source = MFModel(8, 4, seed=1)
+        target = MFModel(8, 4, seed=2)
+        save_model(source, path)
+        load_model(target, path)
+        np.testing.assert_array_equal(target.item_embeddings, source.item_embeddings)
+
+    def test_ncf_roundtrip_includes_params(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        source = NCFModel(8, 4, mlp_layers=(8,), seed=1)
+        target = NCFModel(8, 4, mlp_layers=(8,), seed=2)
+        save_model(source, path)
+        load_model(target, path)
+        for a, b in zip(source.interaction_params(), target.interaction_params()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_extension_added_automatically(self, tmp_path):
+        path = str(tmp_path / "model")
+        source = MFModel(4, 3, seed=0)
+        save_model(source, path)
+        load_model(MFModel(4, 3, seed=5), path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_model(MFModel(8, 4, seed=1), path)
+        with pytest.raises(ValueError, match="does not match"):
+            load_model(MFModel(9, 4, seed=1), path)
+
+    def test_param_count_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_model(MFModel(8, 4, seed=1), path)
+        with pytest.raises(ValueError, match="interaction parameters"):
+            load_model(NCFModel(8, 4, mlp_layers=(8,), seed=1), path)

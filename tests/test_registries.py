@@ -1,0 +1,154 @@
+"""Tests for the attack and defense registries."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.registry import (
+    ATTACK_NAMES,
+    build_malicious_clients,
+    num_malicious_for_ratio,
+)
+from repro.config import AttackConfig, DefenseConfig
+from repro.defenses.registry import (
+    DEFENSE_NAMES,
+    build_server_defense,
+    client_regularizer_factory,
+)
+from repro.defenses.coordinated import ItemScaleClip
+from repro.defenses.robust import (
+    BulyanAggregator,
+    KrumAggregator,
+    MedianAggregator,
+    MultiKrumAggregator,
+    NormBoundFilter,
+    TrimmedMeanAggregator,
+)
+from repro.federated.aggregation import SumAggregator
+
+
+class TestMaliciousCount:
+    def test_ratio_against_total_population(self):
+        # 5% of the total population: m / (benign + m) = 0.05.
+        benign = 950
+        m = num_malicious_for_ratio(benign, 0.05)
+        assert m / (benign + m) == pytest.approx(0.05, abs=0.002)
+
+    def test_zero_ratio(self):
+        assert num_malicious_for_ratio(100, 0.0) == 0
+
+    def test_at_least_one_for_positive_ratio(self):
+        assert num_malicious_for_ratio(5, 0.01) == 1
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            num_malicious_for_ratio(10, 1.0)
+
+
+class TestAttackRegistry:
+    def test_all_names_buildable(self, tiny_dataset):
+        for name in ATTACK_NAMES:
+            clients = build_malicious_clients(
+                name,
+                dataset=tiny_dataset,
+                config=AttackConfig(name=name),
+                targets=np.array([3]),
+                embedding_dim=4,
+                num_malicious=2,
+                first_user_id=100,
+            )
+            if name == "none":
+                assert clients == []
+            else:
+                assert len(clients) == 2
+
+    def test_unknown_name_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="unknown attack"):
+            build_malicious_clients(
+                "ghost",
+                dataset=tiny_dataset,
+                config=AttackConfig(),
+                targets=np.array([0]),
+                embedding_dim=4,
+                num_malicious=1,
+                first_user_id=100,
+            )
+
+    def test_user_ids_sequential(self, tiny_dataset):
+        clients = build_malicious_clients(
+            "pieck_uea",
+            dataset=tiny_dataset,
+            config=AttackConfig(),
+            targets=np.array([3]),
+            embedding_dim=4,
+            num_malicious=3,
+            first_user_id=40,
+        )
+        assert [c.user_id for c in clients] == [40, 41, 42]
+
+    def test_team_size_propagated(self, tiny_dataset):
+        clients = build_malicious_clients(
+            "pieck_ipe",
+            dataset=tiny_dataset,
+            config=AttackConfig(),
+            targets=np.array([3]),
+            embedding_dim=4,
+            num_malicious=4,
+            first_user_id=40,
+        )
+        assert all(c.team_size == 4 for c in clients)
+
+
+class TestDefenseRegistry:
+    @pytest.mark.parametrize(
+        "name,agg_type,has_filter",
+        [
+            ("none", SumAggregator, False),
+            ("norm_bound", SumAggregator, True),
+            ("median", MedianAggregator, False),
+            ("trimmed_mean", TrimmedMeanAggregator, False),
+            ("krum", KrumAggregator, False),
+            ("multi_krum", MultiKrumAggregator, False),
+            ("bulyan", BulyanAggregator, False),
+            ("regularization", SumAggregator, False),
+            ("hybrid", SumAggregator, True),
+        ],
+    )
+    def test_server_components(self, name, agg_type, has_filter):
+        aggregator, update_filter = build_server_defense(DefenseConfig(name=name))
+        assert isinstance(aggregator, agg_type)
+        assert (update_filter is not None) == has_filter
+        if has_filter:
+            assert isinstance(update_filter, NormBoundFilter)
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError, match="unknown defense"):
+            build_server_defense(DefenseConfig(name="firewall"))
+
+    def test_regularizer_factory_only_for_client_side_defenses(self):
+        assert client_regularizer_factory(DefenseConfig(name="median"), 10) is None
+        for name in ("regularization", "hybrid"):
+            factory = client_regularizer_factory(DefenseConfig(name=name), 10)
+            assert factory is not None
+            # Each call creates independent per-client state.
+            assert factory() is not factory()
+
+    def test_all_names_covered(self):
+        assert set(DEFENSE_NAMES) == {
+            "none", "norm_bound", "median", "trimmed_mean",
+            "krum", "multi_krum", "bulyan", "regularization", "hybrid",
+            "scale_clip", "coordinated",
+        }
+
+    def test_scale_clip_is_server_side_only(self):
+        aggregator, update_filter = build_server_defense(
+            DefenseConfig(name="scale_clip")
+        )
+        assert isinstance(aggregator, SumAggregator)
+        assert isinstance(update_filter, ItemScaleClip)
+        assert client_regularizer_factory(DefenseConfig(name="scale_clip"), 10) is None
+
+    def test_coordinated_has_both_sides(self):
+        _, update_filter = build_server_defense(DefenseConfig(name="coordinated"))
+        assert isinstance(update_filter, ItemScaleClip)
+        factory = client_regularizer_factory(DefenseConfig(name="coordinated"), 10)
+        assert factory is not None

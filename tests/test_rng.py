@@ -1,0 +1,54 @@
+"""Tests for the deterministic RNG utilities."""
+
+import numpy as np
+
+from repro.rng import derive_seed, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).normal(size=10)
+        b = make_rng(42).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).normal(size=10)
+        b = make_rng(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_none_seed_returns_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "x", 3) == derive_seed(5, "x", 3)
+
+    def test_label_order_matters(self):
+        assert derive_seed(5, "a", "b") != derive_seed(5, "b", "a")
+
+    def test_int_and_string_labels_mix(self):
+        assert derive_seed(0, 1, "one") != derive_seed(0, "one", 1)
+
+    def test_distinct_parent_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_result_is_valid_seed(self):
+        for labels in [(), ("a",), (1, 2, 3), ("long-label", 99)]:
+            seed = derive_seed(123, *labels)
+            assert 0 <= seed < 2**31
+
+    def test_extra_label_changes_seed(self):
+        assert derive_seed(7, "a") != derive_seed(7, "a", 0)
+
+
+class TestSpawn:
+    def test_spawn_reproducible(self):
+        a = spawn(9, "client", 4).integers(0, 1000, size=5)
+        b = spawn(9, "client", 4).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_streams_independent(self):
+        a = spawn(9, "client", 4).normal(size=8)
+        b = spawn(9, "client", 5).normal(size=8)
+        assert not np.allclose(a, b)

@@ -1,0 +1,67 @@
+"""Tests for negative sampling and local batch construction."""
+
+import numpy as np
+
+from repro.datasets.sampling import sample_local_batch, sample_negatives
+from repro.rng import make_rng
+
+
+class TestSampleNegatives:
+    def test_disjoint_from_positives(self):
+        rng = make_rng(0)
+        positives = np.array([1, 3, 5])
+        for _ in range(20):
+            negs = sample_negatives(rng, positives, 20, 5)
+            assert not set(negs.tolist()) & {1, 3, 5}
+
+    def test_count_and_uniqueness(self):
+        rng = make_rng(1)
+        negs = sample_negatives(rng, np.array([0]), 100, 30)
+        assert len(negs) == 30
+        assert len(np.unique(negs)) == 30
+
+    def test_zero_count(self):
+        rng = make_rng(2)
+        assert len(sample_negatives(rng, np.array([0]), 10, 0)) == 0
+
+    def test_exhausted_pool_returns_complement(self):
+        rng = make_rng(3)
+        positives = np.array([0, 1, 2])
+        negs = sample_negatives(rng, positives, 5, 10)
+        assert set(negs.tolist()) == {3, 4}
+
+    def test_no_negatives_available(self):
+        rng = make_rng(4)
+        positives = np.arange(5)
+        assert len(sample_negatives(rng, positives, 5, 3)) == 0
+
+    def test_scarce_pool_partial_sample(self):
+        rng = make_rng(5)
+        positives = np.arange(8)
+        negs = sample_negatives(rng, positives, 10, 1)
+        assert len(negs) == 1
+        assert negs[0] in (8, 9)
+
+
+class TestSampleLocalBatch:
+    def test_labels_align_with_items(self):
+        rng = make_rng(6)
+        positives = np.array([2, 4])
+        items, labels = sample_local_batch(rng, positives, 50, negative_ratio=2)
+        assert len(items) == len(labels) == 6
+        np.testing.assert_array_equal(labels[:2], [1.0, 1.0])
+        np.testing.assert_array_equal(labels[2:], np.zeros(4))
+        np.testing.assert_array_equal(items[:2], positives)
+
+    def test_q_ratio_respected(self):
+        rng = make_rng(7)
+        positives = np.arange(5)
+        for q in (1, 3):
+            items, labels = sample_local_batch(rng, positives, 200, negative_ratio=q)
+            assert int(labels.sum()) == 5
+            assert len(items) == 5 * (q + 1)
+
+    def test_batch_items_unique(self):
+        rng = make_rng(8)
+        items, _ = sample_local_batch(rng, np.array([1, 2, 3]), 30, 1)
+        assert len(np.unique(items)) == len(items)

@@ -1,0 +1,49 @@
+"""Tests for experiment-table helpers and profile utilities."""
+
+import numpy as np
+
+from repro.analysis.poison_proportion import poison_proportion_profile
+from repro.experiments.tables import (
+    TABLE3_ATTACKS,
+    TABLE4_DEFENSES,
+    _attack_label,
+    _defense_label,
+)
+
+
+class TestLabels:
+    def test_attack_labels_cover_table3(self):
+        labels = [_attack_label(a) for a in TABLE3_ATTACKS]
+        assert labels == [
+            "NoAttack", "FedRecA", "PipA", "A-ra", "A-hum",
+            "PIECK-IPE", "PIECK-UEA",
+        ]
+
+    def test_defense_labels_cover_table4(self):
+        labels = [_defense_label(d) for d in TABLE4_DEFENSES]
+        assert labels[0] == "NoDefense"
+        assert labels[-1] == "ours"
+        assert "Median" in labels and "Bulyan" in labels
+
+    def test_unknown_label_passthrough(self):
+        assert _attack_label("custom") == "custom"
+        assert _defense_label("custom") == "custom"
+
+    def test_regularization_listed_last_in_table4(self):
+        # The paper's table shows "ours" as the final row.
+        assert TABLE4_DEFENSES[-1] == "regularization"
+
+
+class TestPoisonProfile:
+    def test_default_covers_all_items(self, tiny_dataset):
+        profile = poison_proportion_profile(tiny_dataset, 0.05)
+        assert profile.shape == (tiny_dataset.num_items,)
+        assert ((profile >= 0.0) & (profile <= 1.0)).all()
+
+    def test_colder_items_have_higher_share(self, tiny_dataset):
+        ranking = tiny_dataset.popularity_ranking()
+        hot, cold = int(ranking[0]), int(ranking[-1])
+        profile = poison_proportion_profile(
+            tiny_dataset, 0.05, items=np.array([hot, cold])
+        )
+        assert profile[1] > profile[0]
