@@ -30,6 +30,18 @@ class MaliciousClient(ABC):
     ``participate`` is called only in rounds where the server samples
     this user; it may return ``None`` to upload nothing (e.g. while the
     PIECK miner is still accumulating Δ-Norm observations).
+
+    Batch-engine contract: uploads must be ordinary
+    :class:`ClientUpdate` objects (row-aligned ``item_ids`` /
+    ``item_grads`` float64 arrays, unique ids — which
+    ``ClientUpdate.__post_init__`` enforces), because the vectorised
+    engine splices them verbatim into the round's fused gradient
+    scatter at the client's sampled position.  ``participate`` may not
+    assume it runs interleaved with benign clients — the batch engine
+    runs all malicious participants before the benign tensor pass
+    (the global model is frozen within a round, so this is
+    order-equivalent) — and must key any per-round randomness on
+    ``(seed, user_id, round_idx)`` streams, never on call order.
     """
 
     def __init__(self, user_id: int, targets: np.ndarray, config: AttackConfig):

@@ -1,4 +1,19 @@
-"""Single-experiment runner producing (ER@K, HR@K) cells."""
+"""Single-experiment runner producing (ER@K, HR@K) table cells.
+
+This is the harness layer between one :class:`ExperimentConfig` and
+one formatted number pair in a paper table: build the federated
+simulation, train it to completion, evaluate ER@K (attack exposure,
+Section VI) and HR@K (recommendation quality) and return them as
+percentages.  Table and figure scripts in ``benchmarks/`` call
+:func:`run_cell` once per cell, sharing a pre-generated dataset across
+the cells of one table so that only the attack/defense axis varies —
+exactly how the paper's tables are constructed.
+
+Cells run on the vectorised batch-client engine by default; pass
+``engine="loop"`` to use the reference per-client implementation (both
+produce bit-identical results, see
+:mod:`repro.federated.batch_engine`).
+"""
 
 from __future__ import annotations
 
@@ -30,14 +45,17 @@ def run_cell(
     *,
     dataset: InteractionDataset | None = None,
     k: int | None = None,
+    engine: str = "batch",
 ) -> Cell:
     """Run one experiment and return its ER/HR cell (percent).
 
     ``dataset`` lets callers share a pre-generated dataset across the
     cells of a table (the paper's tables vary attack/defense, not the
-    data). ``k`` overrides the evaluation cutoff (Table V).
+    data). ``k`` overrides the evaluation cutoff (Table V). ``engine``
+    selects the execution engine (``"batch"`` default, ``"loop"`` for
+    the reference implementation).
     """
-    sim = FederatedSimulation(config, dataset=dataset)
+    sim = FederatedSimulation(config, dataset=dataset, engine=engine)
     result: SimulationResult = sim.run()
     if k is not None and k != config.train.top_k:
         er, hr = sim.evaluate(k=k)

@@ -7,8 +7,9 @@ gradients back, aggregates them with ``Agg`` (a plain sum, or a defense
 aggregator) and applies one SGD step. User embeddings stay on clients.
 """
 
-from repro.federated.aggregation import Aggregator, SumAggregator
+from repro.federated.aggregation import Aggregator, SumAggregator, scatter_sum
 from repro.federated.audit import ItemRoundRecord, ServerAuditLog
+from repro.federated.batch_engine import BatchClientEngine
 from repro.federated.client import BenignClient
 from repro.federated.payload import ClientUpdate
 from repro.federated.server import Server
@@ -18,6 +19,8 @@ __all__ = [
     "ClientUpdate",
     "Aggregator",
     "SumAggregator",
+    "scatter_sum",
+    "BatchClientEngine",
     "BenignClient",
     "Server",
     "FederatedSimulation",

@@ -10,6 +10,12 @@ When the paper's defense is active, the client additionally feeds the
 received item matrix to its own popular-item miner and augments its
 loss with the two regularization terms (Eq. 16) via a ``regularizer``
 hook (see :class:`repro.defenses.regularization.ClientRegularizer`).
+
+:meth:`BenignClient.participate` is the *reference* local step: the
+vectorised batch engine (:mod:`repro.federated.batch_engine`) executes
+the same mathematics for a whole round's participants at once and is
+tested to match it bit for bit, drawing from the same per-client RNG
+stream ``spawn(seed, "client-round", user_id, round_idx)``.
 """
 
 from __future__ import annotations

@@ -7,6 +7,19 @@ interaction parameter) by ``param <- param - eta * Agg(grads)``.
 
 An optional *update filter* hook lets server-side defenses such as
 NormBound pre-process whole client uploads before aggregation.
+
+Two ingestion paths produce bit-identical results under plain-sum
+aggregation:
+
+* :meth:`Server.apply_updates` — the reference path: one
+  :class:`ClientUpdate` per participant, gradients grouped per item,
+  one ``Agg`` call per touched item. Robust aggregators and update
+  filters require this shape.
+* :meth:`Server.apply_scatter` — the fused path used by the
+  batch-client engine: the whole round arrives as pre-concatenated
+  gradient rows, lands in one dense delta buffer via
+  :func:`~repro.federated.aggregation.scatter_sum`, and the server
+  takes a single dense SGD step.
 """
 
 from __future__ import annotations
@@ -15,7 +28,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.federated.aggregation import Aggregator, SumAggregator
+from repro.federated.aggregation import Aggregator, SumAggregator, scatter_sum
 from repro.federated.audit import ServerAuditLog
 from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
@@ -65,6 +78,47 @@ class Server:
 
         self._apply_item_updates(updates)
         self._apply_param_updates(updates)
+
+    def apply_scatter(
+        self,
+        item_ids: np.ndarray,
+        item_grads: np.ndarray,
+        param_stacks: Sequence[np.ndarray] = (),
+    ) -> None:
+        """Apply one fused round update from pre-concatenated gradients.
+
+        ``item_ids``/``item_grads`` are the row-aligned concatenation of
+        every participant's upload, in participation order (padding rows
+        with zero gradients are harmless); ``param_stacks`` holds one
+        ``(contributors, *param_shape)`` stack per interaction
+        parameter. Requires a scatter-capable (plain sum) aggregator
+        and no update filter; under those conditions the result is
+        bit-identical to :meth:`apply_updates` on the equivalent
+        per-client updates, while doing one ``np.add.at`` and one dense
+        SGD step instead of per-item grouping.
+        """
+        if not self.aggregator.supports_scatter:
+            raise ValueError(
+                "apply_scatter requires a sum aggregator; robust "
+                "aggregators need per-item contributor stacks"
+            )
+        if self.update_filter is not None:
+            raise ValueError("apply_scatter cannot run server update filters")
+        if self.audit_log is not None:
+            raise ValueError(
+                "apply_scatter has no per-client updates to audit; use "
+                "apply_updates when an audit log is attached"
+            )
+        if len(item_ids):
+            buffer = scatter_sum(item_ids, item_grads, self.model.num_items)
+            self.model.item_embeddings += -self.lr * buffer
+        params = self.model.interaction_params()
+        if params and param_stacks:
+            deltas = [
+                -self.lr * self.aggregator.aggregate(stack)
+                for stack in param_stacks
+            ]
+            self.model.apply_param_update(deltas)
 
     # ------------------------------------------------------------------
     # Internals

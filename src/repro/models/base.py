@@ -17,7 +17,44 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["GradientBundle", "RecommenderModel", "build_model"]
+__all__ = [
+    "GradientBundle",
+    "BatchStepResult",
+    "RecommenderModel",
+    "build_model",
+    "segment_starts",
+    "segment_sums",
+]
+
+
+def segment_starts(lengths: np.ndarray) -> np.ndarray:
+    """Row offset of each client's segment in a ragged row-stack.
+
+    The single definition of the CSR-style offset rule used everywhere
+    a ragged stack is consumed (NCF's segmented backward, the batch
+    engine's upload splicing).
+    """
+    return np.concatenate(([0], np.cumsum(lengths)[:-1]))
+
+
+def segment_sums(
+    rows: np.ndarray, lengths: np.ndarray, dim: int
+) -> np.ndarray:
+    """Sum each client's contiguous row segment of a ragged stack.
+
+    Equivalent to ``rows[start_k : start_k + lengths[k]].sum(axis=0)``
+    per client — and implemented exactly that way, because that is the
+    per-client reduction the loop engine performs; NumPy's sequential
+    outer-axis summation makes each segment's result bit-identical to
+    the reference regardless of what surrounds it.
+    """
+    out = np.empty((len(lengths), dim))
+    reduce_rows = np.add.reduce  # what ndarray.sum(axis=0) calls, sans wrapper
+    start = 0
+    for index, length in enumerate(lengths.tolist()):
+        out[index] = reduce_rows(rows[start : start + length], axis=0)
+        start += length
+    return out
 
 
 @dataclass
@@ -33,6 +70,27 @@ class GradientBundle:
     users: np.ndarray
     items: np.ndarray
     params: list[np.ndarray] = field(default_factory=list)
+
+
+@dataclass
+class BatchStepResult:
+    """Gradients of one vectorised local step over stacked clients.
+
+    The batch-client engine stacks every sampled participant's local
+    batch into one ragged row-stack (client ``k`` owns a contiguous
+    segment of ``lengths[k]`` rows); this is the per-client-resolved
+    result.  ``user_grads`` is ``(clients, dim)`` (already summed over
+    each client's rows), ``item_grads`` is ``(total_rows, dim)``
+    row-aligned with the stacked item ids, and ``param_grads`` holds
+    one stacked array of shape ``(clients, *param_shape)`` per
+    learnable interaction parameter — the same per-client values the
+    loop engine uploads one
+    :class:`~repro.federated.payload.ClientUpdate` at a time.
+    """
+
+    user_grads: np.ndarray
+    item_grads: np.ndarray
+    param_grads: list[np.ndarray] = field(default_factory=list)
 
 
 class RecommenderModel(ABC):
@@ -80,6 +138,53 @@ class RecommenderModel(ABC):
     def interaction_params(self) -> list[np.ndarray]:
         """Learnable interaction-function parameters (live views)."""
         return []
+
+    # ------------------------------------------------------------------
+    # Vectorised batch-client training step
+    # ------------------------------------------------------------------
+
+    def batch_local_step(
+        self,
+        user_vecs: np.ndarray,
+        item_vecs: np.ndarray,
+        labels: np.ndarray,
+        lengths: np.ndarray,
+    ) -> BatchStepResult:
+        """One BCE local step for a whole stack of clients at once.
+
+        ``user_vecs`` is ``(clients, dim)`` (one private embedding per
+        client); ``item_vecs`` ``(total_rows, dim)`` and ``labels``
+        ``(total_rows,)`` are the ragged row-stack of every client's
+        local batch, client ``k`` owning a contiguous segment of
+        ``lengths[k]`` rows.
+
+        The default implementation repeats each user vector over its
+        segment and reuses :meth:`forward` / :meth:`backward` on the
+        whole stack — one shared code path for every model whose
+        interaction function is row-wise (MF's dot product, the MLP
+        tower, NCF).  All row-wise arithmetic is bit-identical to the
+        per-client loop; per-client reductions (the user-gradient sums)
+        run over each client's exact row segment, so the result matches
+        the loop engine bit for bit.  Models with learnable interaction
+        parameters must override this to resolve ``params`` per client
+        (see :class:`~repro.models.ncf.NCFModel`).
+        """
+        from repro.models.losses import bce_grad_segmented
+
+        if self.interaction_params():
+            raise NotImplementedError(
+                "models with learnable interaction parameters must "
+                "override batch_local_step to resolve per-client "
+                "parameter gradients"
+            )
+        flat_users = np.repeat(user_vecs, lengths, axis=0)
+        logits, cache = self.forward(flat_users, item_vecs)
+        dlogits = bce_grad_segmented(logits, labels, lengths)
+        bundle = self.backward(cache, dlogits)
+        user_grads = segment_sums(bundle.users, lengths, user_vecs.shape[1])
+        return BatchStepResult(
+            user_grads=user_grads, item_grads=bundle.items, param_grads=[]
+        )
 
     def apply_item_update(self, item_ids: np.ndarray, delta: np.ndarray) -> None:
         """Add ``delta`` rows to the given item embeddings in place."""

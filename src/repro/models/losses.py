@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sigmoid", "log_sigmoid", "bce_loss_and_grad", "bpr_loss_and_grad"]
+__all__ = [
+    "sigmoid",
+    "log_sigmoid",
+    "bce_loss_and_grad",
+    "bce_grad_segmented",
+    "bpr_loss_and_grad",
+]
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
@@ -44,6 +50,23 @@ def bce_loss_and_grad(
     loss = float(np.mean(np.logaddexp(0.0, logits) - labels * logits))
     grad = (sigmoid(logits) - labels) / n
     return loss, grad
+
+
+def bce_grad_segmented(
+    logits: np.ndarray, labels: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """BCE logit gradients for a ragged row-stack of per-client batches.
+
+    ``logits``/``labels`` are flat ``(total_rows,)`` arrays where
+    client ``k`` owns a contiguous segment of ``lengths[k]`` rows.
+    Every row receives ``(sigmoid(logit) - label) / lengths[k]`` — the
+    same value :func:`bce_loss_and_grad` produces for that client's
+    scalar batch, because dividing by the identical float64 divisor is
+    the identical IEEE operation.  Returns the flat gradient aligned
+    with ``logits``.
+    """
+    divisors = np.repeat(np.maximum(lengths, 1), lengths)
+    return (sigmoid(logits) - labels) / divisors
 
 
 def bpr_loss_and_grad(

@@ -4,6 +4,12 @@
 ``sigmoid(logit)``. The interaction function has no learnable
 parameters, which is exactly why interaction-function poisoning
 attacks (A-ra / A-hum's parameter branch) are inert against MF-FRS.
+
+Being parameter-free also means MF-FRS needs no override of
+:meth:`~repro.models.base.RecommenderModel.batch_local_step`: the base
+class's generic row-stacked implementation (einsum dot products are
+independent per row) already runs a whole round of clients in one
+vectorised pass, bit-identical to the per-client loop.
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ This is the learnable-interaction-function building block of DL-FRS
 (Eq. 1 in the paper): a stack of ReLU layers followed by a projection
 vector ``h``. Gradients are derived by hand and checked against
 numerical differentiation in the test suite.
+
+:meth:`MLPTower.forward` is row-wise, so the batch-client engine feeds
+it all sampled clients' rows in one flattened call;
+:meth:`MLPTower.backward_segmented` is the matching backward pass that
+resolves the parameter gradients per client segment (federated clients
+upload *per-client* parameter gradients, not one fused sum).
 """
 
 from __future__ import annotations
@@ -138,3 +144,57 @@ class MLPTower:
             param_grads.append(db)
         param_grads.append(dproj)
         return dact, param_grads
+
+    def backward_segmented(
+        self,
+        cache: list[np.ndarray],
+        dlogits: np.ndarray,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Backward pass resolving parameter gradients per client segment.
+
+        ``cache``/``dlogits`` come from one flattened :meth:`forward`
+        over all clients' stacked rows; segment ``k`` owns rows
+        ``starts[k] : starts[k] + lengths[k]``.  The row-wise parts of
+        the backward pass (ReLU masking, ``dz @ W.T``) run once over the
+        whole stack; only the per-parameter reductions (``x.T @ dz``,
+        ``dz.sum(axis=0)``) run per segment, on each segment's exact
+        rows, making every per-client gradient bit-identical to
+        :meth:`backward` on that client alone.
+
+        Returns ``(dx, param_stacks)`` where ``dx`` covers all rows and
+        ``param_stacks`` is ordered like :meth:`param_list` with one
+        leading ``(num_segments,)`` axis.
+        """
+        num_segments = len(starts)
+        segs = [
+            slice(int(s), int(s) + int(n)) for s, n in zip(starts, lengths)
+        ]
+        final_act = cache[-1]
+        dproj = np.empty((num_segments, len(self.projection)))
+        for k, seg in enumerate(segs):
+            dproj[k] = final_act[seg].T @ dlogits[seg]
+        dact = np.outer(dlogits, self.projection)
+
+        stacks_reversed: list[tuple[np.ndarray, np.ndarray]] = []
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
+            act_out = cache[index + 1]
+            act_in = cache[index]
+            dz = dact * (act_out > 0.0)
+            dw = np.empty((num_segments,) + layer.weight.shape)
+            db = np.empty((num_segments,) + layer.bias.shape)
+            for k, seg in enumerate(segs):
+                dw[k] = act_in[seg].T @ dz[seg]
+                db[k] = dz[seg].sum(axis=0)
+            dact = dz @ layer.weight.T
+            stacks_reversed.append((dw, db))
+        stacks_reversed.reverse()
+
+        param_stacks: list[np.ndarray] = []
+        for dw, db in stacks_reversed:
+            param_stacks.append(dw)
+            param_stacks.append(db)
+        param_stacks.append(dproj)
+        return dact, param_stacks

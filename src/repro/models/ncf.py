@@ -12,7 +12,14 @@ from typing import Any
 
 import numpy as np
 
-from repro.models.base import GradientBundle, RecommenderModel
+from repro.models.base import (
+    BatchStepResult,
+    GradientBundle,
+    RecommenderModel,
+    segment_starts,
+    segment_sums,
+)
+from repro.models.losses import bce_grad_segmented
 from repro.models.mlp import MLPTower
 from repro.rng import spawn
 
@@ -55,6 +62,43 @@ class NCFModel(RecommenderModel):
         dx, param_grads = self.tower.backward(cache, dlogits)
         d = self.embedding_dim
         return GradientBundle(users=dx[:, :d], items=dx[:, d:], params=param_grads)
+
+    def batch_local_step(
+        self,
+        user_vecs: np.ndarray,
+        item_vecs: np.ndarray,
+        labels: np.ndarray,
+        lengths: np.ndarray,
+    ) -> BatchStepResult:
+        """Vectorised local step resolving tower gradients per client.
+
+        Same contract as the base hook; the tower's row-wise forward and
+        backward run once over all clients' stacked rows, while the
+        per-parameter reductions run on each client's exact row segment
+        (see :meth:`MLPTower.backward_segmented`), keeping every
+        uploaded gradient bit-identical to the per-client loop.
+
+        One caveat: a *single-row* segment can differ from the scalar
+        reference in the last ulp, because BLAS dispatches a lone
+        ``(1, k) @ (k, n)`` product to a different kernel than the same
+        row inside a large GEMM.  Protocol batches never hit this —
+        a local batch holds ``positives * (1 + q)`` rows with ``q >= 1``
+        and at least one positive, i.e. always two or more rows.
+        """
+        dim = self.embedding_dim
+        flat_users = np.repeat(user_vecs, lengths, axis=0)
+        x = np.concatenate([flat_users, item_vecs], axis=1)
+        logits, cache = self.tower.forward(x)
+        dlogits = bce_grad_segmented(logits, labels, lengths)
+        starts = segment_starts(lengths)
+        dx, param_stacks = self.tower.backward_segmented(
+            cache, dlogits, starts, lengths
+        )
+        user_grads = segment_sums(dx[:, :dim], lengths, dim)
+        item_grads = dx[:, dim:]
+        return BatchStepResult(
+            user_grads=user_grads, item_grads=item_grads, param_grads=param_stacks
+        )
 
     def score_matrix(self, user_matrix: np.ndarray) -> np.ndarray:
         num_users = user_matrix.shape[0]
