@@ -1,0 +1,42 @@
+"""Machine-readable benchmark artifacts shared by every bench script.
+
+Each benchmark run leaves two artifacts under ``benchmarks/results/``:
+the human-readable table/report text (via the ``archive`` fixture) and
+a ``BENCH_<name>.json`` emitted through :func:`emit_bench_json` — the
+machine-readable record (wall time, throughput numbers, the measured
+configuration) that lets the performance trajectory be tracked across
+PRs by diffing or plotting the JSON files instead of parsing report
+text.
+
+Coverage is automatic: the autouse ``bench_json`` fixture in
+``benchmarks/conftest.py`` times every bench test and emits its JSON on
+teardown; benches with richer numbers (throughput, speedups, configs)
+fill the fixture's payload dict, and standalone ``__main__`` entry
+points call :func:`emit_bench_json` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["RESULTS_DIR", "emit_bench_json"]
+
+
+def emit_bench_json(name: str, payload: dict[str, Any]) -> str:
+    """Write ``benchmarks/results/BENCH_<name>.json`` and return its path.
+
+    ``payload`` must be JSON-serialisable; the harness adds the bench
+    name and a wall-clock timestamp so runs are orderable across PRs.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    record = {"bench": name, "recorded_unix": round(time.time(), 3), **payload}
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from _harness import emit_bench_json
 from repro.config import DatasetConfig, ExperimentConfig, ModelConfig, TrainConfig
 from repro.datasets.synthetic import generate_longtail_dataset
 from repro.federated.simulation import FederatedSimulation
@@ -56,8 +57,12 @@ def _config() -> ExperimentConfig:
     )
 
 
-def run_throughput() -> tuple[str, dict[str, float]]:
-    """Benchmark both engines in every regime; return (report, speedups)."""
+def run_throughput() -> tuple[str, dict[str, float], dict]:
+    """Benchmark both engines in every regime.
+
+    Returns ``(report, speedups, json_payload)`` — the payload feeds
+    the machine-readable ``BENCH_engine_throughput.json`` record.
+    """
     config = _config()
     lines = [
         f"Engine throughput at {USERS_PER_ROUND} sampled clients/round "
@@ -65,6 +70,7 @@ def run_throughput() -> tuple[str, dict[str, float]]:
         f"{'regime':<20} {'engine':<6} {'ms/round':>9} {'clients/sec':>12} {'speedup':>8}",
     ]
     speedups: dict[str, float] = {}
+    regimes_payload: dict[str, dict] = {}
     for name, num_users, num_items, num_interactions in REGIMES:
         dataset = generate_longtail_dataset(
             num_users, num_items, num_interactions, seed=0, name=name
@@ -72,13 +78,30 @@ def run_throughput() -> tuple[str, dict[str, float]]:
         loop_spr = _measure(config, dataset, "loop", rounds=6)
         batch_spr = _measure(config, dataset, "batch", rounds=16)
         speedups[name] = loop_spr / batch_spr
+        regimes_payload[name] = {
+            "num_users": num_users,
+            "num_items": num_items,
+            "num_interactions": num_interactions,
+            "loop_seconds_per_round": loop_spr,
+            "batch_seconds_per_round": batch_spr,
+            "batch_rounds_per_sec": 1.0 / batch_spr,
+            "speedup": speedups[name],
+        }
         for engine, spr in (("loop", loop_spr), ("batch", batch_spr)):
             lines.append(
                 f"{name:<20} {engine:<6} {spr * 1e3:>9.1f} "
                 f"{USERS_PER_ROUND / spr:>12.0f} "
                 f"{(loop_spr / spr):>7.2f}x"
             )
-    return "\n".join(lines), speedups
+    payload = {
+        "config": {
+            "model": "mf",
+            "embedding_dim": config.model.embedding_dim,
+            "users_per_round": USERS_PER_ROUND,
+        },
+        "regimes": regimes_payload,
+    }
+    return "\n".join(lines), speedups, payload
 
 
 def _parity_spot_check() -> None:
@@ -97,15 +120,17 @@ def _parity_spot_check() -> None:
     )
 
 
-def test_engine_throughput(archive):
+def test_engine_throughput(archive, bench_json):
     _parity_spot_check()
-    report, speedups = run_throughput()
+    report, speedups, payload = run_throughput()
     archive("engine_throughput", report)
+    bench_json.update(payload)
     # Acceptance: >= 5x in the primary (sparse) regime.
     assert speedups["az-like sparse"] >= 5.0, report
 
 
 if __name__ == "__main__":
     _parity_spot_check()
-    report, speedups = run_throughput()
+    report, speedups, payload = run_throughput()
     print(report)
+    emit_bench_json("engine_throughput", payload)

@@ -2,16 +2,20 @@
 
 Each benchmark regenerates one paper table/figure (scaled presets),
 prints it, and archives it under ``benchmarks/results/`` so the
-regenerated rows survive pytest's output capturing.
+regenerated rows survive pytest's output capturing.  Every bench test
+additionally leaves a machine-readable ``BENCH_<name>.json`` (wall
+time plus whatever numbers the bench contributes) via the autouse
+``bench_json`` fixture — see ``benchmarks/_harness.py``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+from _harness import RESULTS_DIR, emit_bench_json
 
 
 @pytest.fixture()
@@ -37,6 +41,27 @@ def archive():
             handle.write(text + "\n")
 
     return _archive
+
+
+@pytest.fixture(autouse=True)
+def bench_json(request):
+    """Emit ``BENCH_<name>.json`` with the wall time of every bench test.
+
+    Autouse, so the perf trajectory of *every* ``bench_*.py`` is
+    tracked across PRs without per-file wiring.  A bench wanting to
+    record more than wall time requests the fixture and fills the
+    yielded dict (throughput numbers, measured config, speedups);
+    the payload lands in the JSON on teardown.
+    """
+    payload: dict = {}
+    started = time.perf_counter()
+    yield payload
+    name = request.node.name
+    if name.startswith("test_"):
+        name = name[len("test_") :]
+    emit_bench_json(
+        name, {"wall_time_s": round(time.perf_counter() - started, 3), **payload}
+    )
 
 
 def run_once(benchmark, fn):

@@ -41,6 +41,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.federated.payload import ClientUpdate
+from repro.federated.update_batch import UpdateBatch
 
 __all__ = ["ItemScaleClip"]
 
@@ -103,6 +104,12 @@ class ItemScaleClip:
         self.include_params = include_params
         self._smoothed_median: float | None = None
         self._smoothed_param_medians: list[float] = []
+        if include_params:
+            # Whole-tensor parameter norms need materialised updates;
+            # exposing no ``filter_batch`` routes the server to its
+            # reference path, where the fallback is *counted*
+            # (``Server.materialized_rounds``) instead of hidden.
+            self.filter_batch = None
 
     # ------------------------------------------------------------------
     # Scale calibration
@@ -195,6 +202,43 @@ class ItemScaleClip:
                 )
             )
         return clipped
+
+    def filter_batch(self, batch: UpdateBatch) -> UpdateBatch:
+        """Batched equivalent of ``__call__`` on an :class:`UpdateBatch`.
+
+        Row norms are computed once over the whole round stack (a
+        row-wise reduction, so each value matches the per-client
+        computation bit for bit); the median-of-medians calibration
+        walks client segments of that norm vector; the row clip is one
+        masked multiply over the stack.  The EMA state advances exactly
+        as in the reference path, so a filter instance may serve either
+        entry point across rounds.  (``include_params`` instances
+        expose no ``filter_batch`` at all — see ``__init__``.)
+        """
+        if batch.num_clients == 0:
+            return batch
+        row_norms = batch.row_norms()
+        starts = batch.starts
+        client_medians = []
+        for k in range(batch.num_clients):
+            start = int(starts[k])
+            norms = row_norms[start : start + int(batch.lengths[k])]
+            positive = norms[norms > 0]
+            if len(positive):
+                client_medians.append(_lower_median(positive))
+        round_median = (
+            _lower_median(np.asarray(client_medians)) if client_medians else 0.0
+        )
+        scale = self._update_scale(round_median)
+        if scale <= 0.0:
+            return batch
+        bound = self.factor * scale
+        over = row_norms > bound
+        if not over.any():
+            return batch
+        item_grads = batch.item_grads.copy()
+        item_grads[over] *= (bound / row_norms[over])[:, None]
+        return batch.with_item_grads(item_grads)
 
     @staticmethod
     def _clip_rows(grads: np.ndarray, bound: float) -> np.ndarray | None:

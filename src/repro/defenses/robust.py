@@ -10,6 +10,20 @@ tunes every defense "optimal" before comparing).
 All of them assume poisonous gradients are a minority among the
 gradients of any given parameter — the assumption Eq. 11 breaks for
 cold target items in FRS.
+
+Every aggregator implements the *grouped* interface
+(:meth:`~repro.federated.aggregation.Aggregator.aggregate_stacks`):
+the batched defended path hands it all touched items with the same
+contributor count at once as one ``(groups, n, dim)`` tensor, and the
+scalar ``aggregate`` routes through the identical kernel with a group
+axis of one.  The kernels use only lane-stable operations (per-lane
+sort/partition/median, sequential middle-axis reductions, non-BLAS
+einsum dot products), so each group's result is bit-identical to
+aggregating that item alone — the invariant the loop/batch engine
+parity suite rests on.  The Krum family shares one pairwise
+squared-distance routine; the distance matrix is computed once per
+grouped call and reused across Krum scoring, MultiKrum selection and
+Bulyan's select-then-trim stages instead of being rebuilt per item.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ import numpy as np
 
 from repro.federated.aggregation import Aggregator
 from repro.federated.payload import ClientUpdate
+from repro.federated.update_batch import UpdateBatch
 
 __all__ = [
     "NormBoundFilter",
@@ -52,13 +67,38 @@ class NormBoundFilter:
             bound = float(np.median([u.total_norm for u in updates]))
         return [u.clipped(bound) for u in updates]
 
+    def filter_batch(self, batch: UpdateBatch) -> UpdateBatch:
+        """Batched equivalent of ``__call__``, one pass over the stacks.
+
+        Per-client norms come from :meth:`UpdateBatch.client_total_norms`
+        (bit-identical to ``ClientUpdate.total_norm``); unclipped
+        clients are scaled by exactly 1.0, which is the identity on
+        every float, so the result matches the reference filter bit
+        for bit.
+        """
+        if batch.num_clients == 0:
+            return batch
+        norms = batch.client_total_norms()
+        bound = self.threshold
+        if bound <= 0:
+            bound = float(np.median(norms))
+        over = norms > bound
+        if bound <= 0 or not over.any():
+            return batch
+        scales = np.ones(batch.num_clients)
+        scales[over] = bound / norms[over]
+        return batch.scaled_by_client(scales)
+
 
 class MedianAggregator(Aggregator):
     """Coordinate-wise median (Yin et al., 2018), on the sum scale."""
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
-        grads = self._check(grads)
-        return np.median(grads, axis=0) * len(grads)
+        return self.aggregate_stacks(self._check(grads)[None])[0]
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        n = stacks.shape[1]
+        return np.median(stacks, axis=1) * n
 
 
 class TrimmedMeanAggregator(Aggregator):
@@ -74,26 +114,50 @@ class TrimmedMeanAggregator(Aggregator):
         self.assumed_ratio = assumed_ratio
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
-        grads = self._check(grads)
-        n = len(grads)
+        return self.aggregate_stacks(self._check(grads)[None])[0]
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        n = stacks.shape[1]
         trim = min(math.ceil(self.assumed_ratio * n), (n - 1) // 2)
         if trim == 0:
-            return grads.mean(axis=0) * n
-        ordered = np.sort(grads, axis=0)
-        kept = ordered[trim : n - trim]
-        return kept.mean(axis=0) * n
+            return stacks.mean(axis=1) * n
+        ordered = np.sort(stacks, axis=1)
+        kept = ordered[:, trim : n - trim]
+        return kept.mean(axis=1) * n
 
 
-def _krum_scores(flat: np.ndarray, num_malicious: int) -> np.ndarray:
-    """Krum score per gradient: sum of its closest squared distances."""
-    n = len(flat)
-    sq_norms = np.einsum("ij,ij->i", flat, flat)
-    dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (flat @ flat.T)
-    np.fill_diagonal(dists, np.inf)
-    # Each gradient is scored on its n - f - 2 nearest neighbours.
+def _pairwise_sq_dists(flat: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances for stacked gradient groups.
+
+    ``flat`` is ``(groups, n, dim)``; the result is ``(groups, n, n)``
+    with ``inf`` on each diagonal (a gradient is never its own
+    neighbour).  The single distance computation shared by the whole
+    Krum family: each grouped call builds it exactly once and every
+    selection stage reads from it.  The batched ``np.matmul`` runs the
+    same BLAS GEMM on every ``(n, dim)`` slice, so each lane's
+    distances are bit-identical whether the item is aggregated alone
+    or inside a thousand-item group — the lane-stability property the
+    parity suite (``tests/test_batch_defended.py``) asserts per
+    contributor count.
+    """
+    dots = np.matmul(flat, flat.transpose(0, 2, 1))
+    sq_norms = np.einsum("gii->gi", dots)
+    dists = sq_norms[:, :, None] + sq_norms[:, None, :] - 2.0 * dots
+    n = flat.shape[1]
+    dists[:, np.arange(n), np.arange(n)] = np.inf
+    return dists
+
+
+def _krum_scores(dists: np.ndarray, num_malicious: int) -> np.ndarray:
+    """Krum score per gradient: sum of its closest squared distances.
+
+    ``dists`` is the precomputed ``(groups, n, n)`` distance tensor;
+    each gradient is scored on its ``n - f - 2`` nearest neighbours.
+    """
+    n = dists.shape[1]
     keep = max(n - num_malicious - 2, 1)
-    part = np.partition(dists, kth=keep - 1, axis=1)[:, :keep]
-    return part.sum(axis=1)
+    part = np.partition(dists, kth=keep - 1, axis=2)[:, :, :keep]
+    return part.sum(axis=2)
 
 
 class KrumAggregator(Aggregator):
@@ -103,14 +167,17 @@ class KrumAggregator(Aggregator):
         self.assumed_ratio = assumed_ratio
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
-        grads = self._check(grads)
-        n = len(grads)
+        return self.aggregate_stacks(self._check(grads)[None])[0]
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        groups, n = stacks.shape[:2]
         if n <= 2:
-            return grads.sum(axis=0)
-        flat = grads.reshape(n, -1)
+            return stacks.sum(axis=1)
+        flat = stacks.reshape(groups, n, -1)
         f = max(1, math.ceil(self.assumed_ratio * n))
-        winner = int(np.argmin(_krum_scores(flat, f)))
-        return grads[winner] * n
+        scores = _krum_scores(_pairwise_sq_dists(flat), f)
+        winners = np.argmin(scores, axis=1)
+        return stacks[np.arange(groups), winners] * n
 
 
 class MultiKrumAggregator(Aggregator):
@@ -120,16 +187,20 @@ class MultiKrumAggregator(Aggregator):
         self.assumed_ratio = assumed_ratio
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
-        grads = self._check(grads)
-        n = len(grads)
+        return self.aggregate_stacks(self._check(grads)[None])[0]
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        groups, n = stacks.shape[:2]
         if n <= 2:
-            return grads.sum(axis=0)
-        flat = grads.reshape(n, -1)
+            return stacks.sum(axis=1)
+        flat = stacks.reshape(groups, n, -1)
         f = max(1, math.ceil(self.assumed_ratio * n))
         drop = min(2 * f, n - 1)
-        scores = _krum_scores(flat, f)
-        kept = np.argsort(scores, kind="stable")[: n - drop]
-        return grads[kept].mean(axis=0) * n
+        scores = _krum_scores(_pairwise_sq_dists(flat), f)
+        kept = np.argsort(scores, axis=1, kind="stable")[:, : n - drop]
+        selected = np.take_along_axis(flat, kept[:, :, None], axis=1)
+        out = selected.mean(axis=1) * n
+        return out.reshape((groups,) + stacks.shape[2:])
 
 
 class BulyanAggregator(Aggregator):
@@ -140,15 +211,20 @@ class BulyanAggregator(Aggregator):
         self._trimmed = TrimmedMeanAggregator(min(assumed_ratio, 0.49))
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
-        grads = self._check(grads)
-        n = len(grads)
+        return self.aggregate_stacks(self._check(grads)[None])[0]
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        groups, n = stacks.shape[:2]
         if n <= 3:
-            return grads.sum(axis=0)
-        flat = grads.reshape(n, -1)
+            return stacks.sum(axis=1)
+        flat = stacks.reshape(groups, n, -1)
         f = max(1, math.ceil(self.assumed_ratio * n))
         keep = max(n - 2 * f, 2)
-        scores = _krum_scores(flat, f)
-        selected = np.argsort(scores, kind="stable")[:keep]
-        trimmed = self._trimmed.aggregate(grads[selected])
-        # _trimmed returns robust-mean * keep; rescale to the full count.
-        return trimmed / keep * n
+        scores = _krum_scores(_pairwise_sq_dists(flat), f)
+        selected = np.argsort(scores, axis=1, kind="stable")[:, :keep]
+        chosen = np.take_along_axis(flat, selected[:, :, None], axis=1)
+        trimmed = self._trimmed.aggregate_stacks(chosen)
+        # aggregate_stacks returns robust-mean * keep; rescale to the
+        # full contributor count.
+        out = trimmed / keep * n
+        return out.reshape((groups,) + stacks.shape[2:])

@@ -14,9 +14,11 @@ from repro.federated.client import BenignClient
 from repro.federated.payload import ClientUpdate
 from repro.federated.server import Server
 from repro.federated.simulation import EvalRecord, FederatedSimulation, SimulationResult
+from repro.federated.update_batch import UpdateBatch
 
 __all__ = [
     "ClientUpdate",
+    "UpdateBatch",
     "Aggregator",
     "SumAggregator",
     "scatter_sum",

@@ -69,6 +69,27 @@ class Aggregator(ABC):
         ``n_clients >= 1``; the result has shape ``param_shape``.
         """
 
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        """Aggregate many same-count contributor stacks at once.
+
+        ``stacks`` has shape ``(groups, n_clients, *param_shape)`` —
+        one contributor stack per group (per touched item, in the
+        batched defended path, grouped by contributor count); the
+        result has shape ``(groups, *param_shape)``.
+
+        Contract: lane ``g`` of the result is bit-identical to
+        ``aggregate(stacks[g])`` — the batched defended round must
+        reproduce the reference per-item aggregation exactly.  The
+        default implementation guarantees this by looping; the robust
+        aggregators in :mod:`repro.defenses.robust` override it with
+        vectorised kernels built only from lane-stable NumPy
+        operations (per-lane sort/partition/median, sequential
+        middle-axis reductions, batched GEMMs whose per-slice results
+        match the standalone product) and route ``aggregate`` itself
+        through the same kernel.
+        """
+        return np.stack([self.aggregate(stack) for stack in stacks])
+
     def _check(self, grads: np.ndarray) -> np.ndarray:
         grads = np.asarray(grads, dtype=np.float64)
         if grads.ndim < 2 or len(grads) == 0:
@@ -83,3 +104,6 @@ class SumAggregator(Aggregator):
 
     def aggregate(self, grads: np.ndarray) -> np.ndarray:
         return self._check(grads).sum(axis=0)
+
+    def aggregate_stacks(self, stacks: np.ndarray) -> np.ndarray:
+        return stacks.sum(axis=1)

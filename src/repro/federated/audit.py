@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.federated.payload import ClientUpdate
+from repro.federated.update_batch import UpdateBatch
 
 __all__ = ["ItemRoundRecord", "ServerAuditLog"]
 
@@ -93,6 +94,44 @@ class ServerAuditLog:
                     malicious_count=malicious_counts.get(item_id, 0),
                     benign_norm=benign_norms.get(item_id, 0.0),
                     malicious_norm=malicious_norms.get(item_id, 0.0),
+                )
+            )
+        self._round_idx += 1
+
+    def record_batch(self, batch: UpdateBatch) -> None:
+        """Append one round's statistics from a dense update batch.
+
+        Produces records identical to :meth:`record` on the equivalent
+        materialised updates: row norms are a row-wise reduction (the
+        same values either way), and ``np.bincount`` accumulates its
+        weights sequentially in row order — the upload order the
+        reference path's dict accumulation follows — so every norm sum
+        is bit-identical.
+        """
+        if len(batch.item_ids) == 0:
+            self._round_idx += 1
+            return
+        row_mal = np.repeat(batch.malicious, batch.lengths)
+        row_norms = np.linalg.norm(batch.item_grads, axis=1)
+        unique_ids, inverse = np.unique(batch.item_ids, return_inverse=True)
+        bins = len(unique_ids)
+        benign_counts = np.bincount(inverse[~row_mal], minlength=bins)
+        mal_counts = np.bincount(inverse[row_mal], minlength=bins)
+        benign_norms = np.bincount(
+            inverse[~row_mal], weights=row_norms[~row_mal], minlength=bins
+        )
+        mal_norms = np.bincount(
+            inverse[row_mal], weights=row_norms[row_mal], minlength=bins
+        )
+        for i, item_id in enumerate(unique_ids):
+            self.records.append(
+                ItemRoundRecord(
+                    round_idx=self._round_idx,
+                    item_id=int(item_id),
+                    benign_count=int(benign_counts[i]),
+                    malicious_count=int(mal_counts[i]),
+                    benign_norm=float(benign_norms[i]),
+                    malicious_norm=float(mal_norms[i]),
                 )
             )
         self._round_idx += 1

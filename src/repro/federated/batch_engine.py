@@ -18,48 +18,49 @@ passes over all sampled participants at once:
    owns a contiguous segment of ``lengths[k]`` rows.  The CSR-style
    layout wastes nothing under long-tail activity, where padding every
    client to the most active one would dwarf the real data.
-2. **Step.** One batched embedding gather produces ``(total_rows,
-   dim)`` item vectors and a single
-   :meth:`~repro.models.base.RecommenderModel.batch_local_step` call
-   runs every client's local BCE epoch — one row-stacked forward /
-   backward shared by MF and NCF, with per-client reductions taken
-   over each client's exact row segment.
-3. **Scatter.** All uploads (the benign gradient rows — already
+2. **Step.** One batched embedding gather produces the stacked item
+   vectors and a single batched local step runs every client's local
+   epoch — :meth:`~repro.models.base.RecommenderModel.batch_local_step`
+   for the BCE loss,
+   :meth:`~repro.models.base.RecommenderModel.batch_local_step_bpr`
+   for BPR (paired positive/negative stacks, with per-client
+   duplicate-row merging done here via one offset-keyed ``np.unique``)
+   — with per-client reductions taken over each client's exact row
+   segment.
+3. **Hand-off.** All uploads (the benign gradient rows — already
    row-aligned in participation order — plus whatever the round's
    malicious clients emitted, spliced in at their sampled positions)
-   land in one dense delta buffer via a single
-   :func:`~repro.federated.aggregation.scatter_sum` and the server
-   takes one fused SGD step
-   (:meth:`~repro.federated.server.Server.apply_scatter`).
+   are assembled into one dense
+   :class:`~repro.federated.update_batch.UpdateBatch` and handed to
+   :meth:`~repro.federated.server.Server.apply_batch`, which runs the
+   whole server side — audit log, defense filters, robust or fused-sum
+   aggregation — on the stacked tensors.  No per-client
+   :class:`ClientUpdate` objects are materialised for any registry
+   defense, filter, or audit configuration.
 
 Bit-exactness is a design invariant, not an approximation: every RNG
 stream, every row-wise op, and every reduction matches the loop engine
 bit for bit (NumPy scatters and reduces sequentially, so grouping rows
 per item and summing matches scattering them in upload order), and so
 ``engine="loop"`` and ``engine="batch"`` produce identical
-trajectories from the same seed.  The parity suite in
-``tests/test_batch_engine.py`` asserts exactly that.
-
-When a round needs per-client server machinery — a robust aggregator,
-an update filter, or an audit log — the engine still *computes* in
-batch but materialises ordinary :class:`ClientUpdate` uploads and
-routes them through :meth:`Server.apply_updates`.  Rounds that need
-semantics the batched step does not cover (the BPR loss) fall back to
-the reference per-client loop wholesale.
+trajectories from the same seed.  The parity suites in
+``tests/test_batch_engine.py`` and ``tests/test_batch_defended.py``
+(every registry defense x attack x model/loss combination) assert
+exactly that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.config import TrainConfig
-from repro.datasets.sampling import sample_local_batches
+from repro.datasets.sampling import sample_local_batches, sample_negatives_batch
 from repro.federated.client import BenignClient
 from repro.federated.payload import ClientUpdate
 from repro.federated.server import Server
+from repro.federated.update_batch import UpdateBatch
 from repro.models.base import RecommenderModel, segment_starts
 from repro.rng import spawn_batch
 
@@ -75,6 +76,13 @@ class _RoundBatch:
     starts: np.ndarray  # (clients,) row offset of each client's segment
     item_grads: np.ndarray  # (total_rows, dim)
     param_stacks: list[np.ndarray] = field(default_factory=list)
+    #: Client rows (participation order) that contribute parameter
+    #: gradients; row ``j`` of every stack belongs to client
+    #: ``param_owners[j]``.  All clients under BCE on a parametric
+    #: model; only regularised clients under BPR.
+    param_owners: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
 
 
 class BatchClientEngine:
@@ -84,12 +92,10 @@ class BatchClientEngine:
         self,
         model: RecommenderModel,
         server: Server,
-        benign_clients: Sequence[BenignClient],
-        malicious_clients: Sequence,
+        benign_clients: list[BenignClient],
+        malicious_clients: list,
         train_cfg: TrainConfig,
         seed: int,
-        *,
-        loop_round: Callable[[int, np.ndarray], None],
     ):
         self.model = model
         self.server = server
@@ -97,9 +103,6 @@ class BatchClientEngine:
         self.malicious_clients = malicious_clients
         self.train_cfg = train_cfg
         self.seed = seed
-        #: Reference per-client implementation used for semantics the
-        #: batched step does not cover (currently the BPR loss).
-        self._loop_round = loop_round
 
     # ------------------------------------------------------------------
     # Round execution
@@ -107,10 +110,6 @@ class BatchClientEngine:
 
     def run_round(self, round_idx: int, sampled: np.ndarray) -> None:
         """Execute one communication round for the sampled user ids."""
-        if self.train_cfg.loss != "bce":
-            self._loop_round(round_idx, sampled)
-            return
-
         num_benign = len(self.benign_clients)
         sampled_list = [int(user_id) for user_id in sampled]
         benign_ids = np.array(
@@ -132,18 +131,10 @@ class BatchClientEngine:
                     malicious_by_pos[pos] = update
 
         batch = self._benign_batch_step(clients, benign_ids, round_idx)
-
-        fast = (
-            self.server.aggregator.supports_scatter
-            and self.server.update_filter is None
-            and self.server.audit_log is None
+        round_batch = self._assemble(
+            sampled_list, num_benign, benign_ids, malicious_by_pos, batch
         )
-        if fast:
-            self._apply_fused(sampled_list, num_benign, malicious_by_pos, batch)
-        else:
-            self._apply_materialised(
-                sampled_list, num_benign, malicious_by_pos, batch
-            )
+        self.server.apply_batch(round_batch)
 
     # ------------------------------------------------------------------
     # Benign local training, batched
@@ -158,31 +149,38 @@ class BatchClientEngine:
         """Run every sampled benign client's local step in one batch."""
         if not clients:
             zero = np.empty(0, dtype=np.int64)
-            return _RoundBatch(zero, zero, zero, np.empty((0, 0)))
+            return _RoundBatch(
+                zero, zero, zero, np.empty((0, self.model.embedding_dim))
+            )
 
         for client in clients:
             if client.regularizer is not None:
                 client.regularizer.observe(self.model.item_embeddings)
 
         rngs = spawn_batch(self.seed, ("client-round",), benign_ids, (round_idx,))
-        item_ids, labels, lengths = sample_local_batches(
-            rngs,
-            [client.positive_items for client in clients],
-            self.model.num_items,
-            self.train_cfg.negative_ratio,
-        )
-        starts = segment_starts(lengths)
         user_vecs = np.stack([client.user_embedding for client in clients])
-        item_vecs = self.model.item_embeddings[item_ids]
-        result = self.model.batch_local_step(user_vecs, item_vecs, labels, lengths)
-        item_grads = result.item_grads
-        user_grads = result.user_grads
-        param_stacks = result.param_grads
+        if self.train_cfg.loss == "bpr":
+            item_ids, lengths, item_grads, user_grads = self._bpr_stacks(
+                clients, rngs, user_vecs
+            )
+            param_stacks, param_owners = self._bpr_param_stacks(clients)
+        else:
+            # Any non-BPR loss trains with BCE, exactly like the
+            # reference client.
+            item_ids, lengths, item_grads, user_grads, param_stacks = (
+                self._bce_stacks(clients, rngs, user_vecs)
+            )
+            param_owners = (
+                np.arange(len(clients), dtype=np.int64)
+                if param_stacks
+                else np.empty(0, dtype=np.int64)
+            )
+        starts = segment_starts(lengths)
 
         if any(client.regularizer is not None for client in clients):
             self._apply_regularizers(
                 clients, item_ids, lengths, starts,
-                item_grads, user_grads, param_stacks,
+                item_grads, user_grads, param_stacks, param_owners,
             )
 
         # Local personalised-model update: u <- u - eta * grad_u, for the
@@ -198,7 +196,117 @@ class BatchClientEngine:
         for client, row in zip(clients, new_users):
             client.user_embedding = row
 
-        return _RoundBatch(item_ids, lengths, starts, item_grads, param_stacks)
+        return _RoundBatch(
+            item_ids, lengths, starts, item_grads, param_stacks, param_owners
+        )
+
+    def _bce_stacks(
+        self,
+        clients: list[BenignClient],
+        rngs: list[np.random.Generator],
+        user_vecs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
+        """Stacked BCE local batches and gradients for all clients."""
+        item_ids, labels, lengths = sample_local_batches(
+            rngs,
+            [client.positive_items for client in clients],
+            self.model.num_items,
+            self.train_cfg.negative_ratio,
+        )
+        item_vecs = self.model.item_embeddings[item_ids]
+        result = self.model.batch_local_step(user_vecs, item_vecs, labels, lengths)
+        return item_ids, lengths, result.item_grads, result.user_grads, result.param_grads
+
+    def _bpr_stacks(
+        self,
+        clients: list[BenignClient],
+        rngs: list[np.random.Generator],
+        user_vecs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked BPR pairs, trained and merged to per-client uploads.
+
+        Mirrors ``BenignClient._bpr_step`` for the whole stack: pair
+        each positive with one freshly sampled negative (truncating
+        positives when negatives are scarce), run the batched pairwise
+        step, then merge each client's duplicate item rows exactly as
+        the reference's per-client ``np.unique`` + ``np.add.at`` does —
+        realised here as *one* ``np.unique`` over client-offset item
+        keys, whose per-client blocks are the per-client results.
+        """
+        positives_list = [client.positive_items for client in clients]
+        counts = np.array([len(p) for p in positives_list], dtype=np.int64)
+        negatives = sample_negatives_batch(
+            rngs, positives_list, self.model.num_items, counts
+        )
+        pairs = [
+            (p[: len(n)], n) if len(n) < len(p) else (p, n)
+            for p, n in zip(positives_list, negatives)
+        ]
+        lengths = np.array([len(n) for _, n in pairs], dtype=np.int64)
+        pos_ids = np.concatenate([p for p, _ in pairs])
+        neg_ids = np.concatenate([n for _, n in pairs])
+        pos_vecs = self.model.item_embeddings[pos_ids]
+        neg_vecs = self.model.item_embeddings[neg_ids]
+        result = self.model.batch_local_step_bpr(
+            user_vecs, pos_vecs, neg_vecs, lengths
+        )
+        total = int(lengths.sum())
+        pos_grads = result.item_grads[:total]
+        neg_grads = result.item_grads[total:]
+
+        # Interleave each client's positive and negative rows into the
+        # reference upload order (positives first), then merge duplicate
+        # items per client.
+        starts = segment_starts(lengths)
+        within = np.arange(total) - np.repeat(starts, lengths)
+        dest_base = np.repeat(2 * starts, lengths)
+        all_ids = np.empty(2 * total, dtype=np.int64)
+        all_grads = np.empty((2 * total, self.model.embedding_dim))
+        pos_dest = dest_base + within
+        neg_dest = dest_base + np.repeat(lengths, lengths) + within
+        all_ids[pos_dest] = pos_ids
+        all_ids[neg_dest] = neg_ids
+        all_grads[pos_dest] = pos_grads
+        all_grads[neg_dest] = neg_grads
+
+        owners = np.repeat(np.arange(len(clients), dtype=np.int64), 2 * lengths)
+        keys = owners * self.model.num_items + all_ids
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        merged = np.zeros((len(unique_keys), self.model.embedding_dim))
+        np.add.at(merged, inverse, all_grads)
+        merged_ids = unique_keys % self.model.num_items
+        merged_lengths = np.bincount(
+            unique_keys // self.model.num_items, minlength=len(clients)
+        ).astype(np.int64)
+        return merged_ids, merged_lengths, merged, result.user_grads
+
+    def _bpr_param_stacks(
+        self, clients: list[BenignClient]
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Zero parameter stacks for the regularised BPR edge case.
+
+        The BPR upload itself carries no interaction-parameter
+        gradients; a client contributes one only when its defense
+        regularizer emits a ``param_grad_terms`` correction — mirrored
+        here by allocating zero rows for exactly the regularised
+        clients (the terms are added in :meth:`_apply_regularizers`).
+        """
+        params = self.model.interaction_params()
+        if not params:
+            return [], np.empty(0, dtype=np.int64)
+        owners = np.array(
+            [
+                row
+                for row, client in enumerate(clients)
+                if client.regularizer is not None
+                and getattr(client.regularizer, "param_grad_terms", None) is not None
+            ],
+            dtype=np.int64,
+        )
+        if not len(owners):
+            return [], owners
+        stacks = [np.zeros((len(owners),) + p.shape) for p in params]
+        return stacks, owners
 
     def _apply_regularizers(
         self,
@@ -209,6 +317,7 @@ class BatchClientEngine:
         item_grads: np.ndarray,
         user_grads: np.ndarray,
         param_stacks: list[np.ndarray],
+        param_owners: np.ndarray,
     ) -> None:
         """Add each client's defense gradient terms to the batch result.
 
@@ -220,6 +329,7 @@ class BatchClientEngine:
         """
         item_matrix = self.model.item_embeddings
         has_params = bool(self.model.interaction_params())
+        stack_row = {int(owner): j for j, owner in enumerate(param_owners)}
         for row, client in enumerate(clients):
             regularizer = client.regularizer
             if regularizer is None:
@@ -231,48 +341,59 @@ class BatchClientEngine:
                 client.user_embedding, item_matrix
             )
             param_hook = getattr(regularizer, "param_grad_terms", None)
-            if param_hook is not None and has_params:
+            if param_hook is not None and has_params and row in stack_row:
                 extra = param_hook(self.model, ids)
                 if extra:
                     for index, term in enumerate(extra):
-                        param_stacks[index][row] += term
+                        param_stacks[index][stack_row[row]] += term
 
     # ------------------------------------------------------------------
     # Server hand-off
     # ------------------------------------------------------------------
 
-    def _apply_fused(
+    def _assemble(
         self,
         sampled_list: list[int],
         num_benign: int,
+        benign_ids: np.ndarray,
         malicious_by_pos: dict[int, ClientUpdate],
         batch: _RoundBatch,
-    ) -> None:
-        """Ship the round as one concatenated scatter, no per-client uploads.
+    ) -> UpdateBatch:
+        """Splice benign stacks and malicious uploads into one UpdateBatch.
 
         The benign gradient rows already sit in participation order, so
-        a round without malicious uploads goes to the server with zero
-        copies; otherwise malicious uploads are spliced in at their
-        sampled positions (splitting the benign stack into a handful of
-        contiguous runs), keeping the scatter's row order — and
-        therefore its floating-point result — exactly the reference
-        engine's upload order.
+        a round without malicious uploads wraps the training stacks
+        with zero copies; otherwise malicious uploads are spliced in at
+        their sampled positions (splitting the benign stack into a
+        handful of contiguous runs), keeping the batch's client order —
+        and therefore every downstream float accumulation — exactly the
+        reference engine's upload order.
         """
-        if not malicious_by_pos:
-            if len(batch.item_ids):
-                self.server.apply_scatter(
-                    batch.item_ids, batch.item_grads, batch.param_stacks
-                )
-            return
-
         num_params = len(self.model.interaction_params())
+        if not malicious_by_pos:
+            return UpdateBatch(
+                user_ids=benign_ids,
+                item_ids=batch.item_ids,
+                item_grads=batch.item_grads,
+                lengths=batch.lengths,
+                param_stacks=batch.param_stacks if num_params else [],
+                param_owners=batch.param_owners if num_params else np.empty(0, dtype=np.int64),
+                malicious=np.zeros(len(benign_ids), dtype=bool),
+            )
+
         run_starts = batch.starts
         run_lengths = batch.lengths
+        owners = batch.param_owners
+        user_chunks: list[np.ndarray] = []
+        length_chunks: list[np.ndarray] = []
+        mal_chunks: list[np.ndarray] = []
         id_chunks: list[np.ndarray] = []
         grad_chunks: list[np.ndarray] = []
         param_chunks: list[list[np.ndarray]] = [[] for _ in range(num_params)]
+        owner_chunks: list[np.ndarray] = []
         benign_row = 0  # index of the next benign client
         run_begin = 0  # first benign client of the current contiguous run
+        inserted = 0  # malicious uploads spliced in so far
 
         def flush_run(end: int) -> None:
             nonlocal run_begin
@@ -281,11 +402,17 @@ class BatchClientEngine:
                 hi = int(run_starts[end - 1] + run_lengths[end - 1])
                 id_chunks.append(batch.item_ids[lo:hi])
                 grad_chunks.append(batch.item_grads[lo:hi])
-                for index, stack in enumerate(batch.param_stacks):
-                    param_chunks[index].append(stack[run_begin:end])
+                user_chunks.append(benign_ids[run_begin:end])
+                length_chunks.append(run_lengths[run_begin:end])
+                mal_chunks.append(np.zeros(end - run_begin, dtype=bool))
+                if num_params and len(owners):
+                    olo, ohi = np.searchsorted(owners, (run_begin, end))
+                    if ohi > olo:
+                        owner_chunks.append(owners[olo:ohi] + inserted)
+                        for index, stack in enumerate(batch.param_stacks):
+                            param_chunks[index].append(stack[olo:ohi])
             run_begin = end
 
-        malicious_has_params = False
         for pos, user_id in enumerate(sampled_list):
             if user_id < num_benign:
                 benign_row += 1
@@ -294,64 +421,42 @@ class BatchClientEngine:
             if update is None:
                 continue
             flush_run(benign_row)
+            client_pos = benign_row + inserted
+            user_chunks.append(np.array([update.user_id], dtype=np.int64))
+            length_chunks.append(np.array([len(update.item_ids)], dtype=np.int64))
+            mal_chunks.append(np.array([update.malicious], dtype=bool))
             id_chunks.append(update.item_ids)
             grad_chunks.append(update.item_grads)
             # Parameter uploads against a parameter-free model are
             # ignored, exactly like the reference server path.
             if update.param_grads and num_params:
-                malicious_has_params = True
+                owner_chunks.append(np.array([client_pos], dtype=np.int64))
                 for index, grad in enumerate(update.param_grads):
                     param_chunks[index].append(grad[None])
+            inserted += 1
         flush_run(benign_row)
 
-        if not id_chunks:
-            return
-        flat_ids = np.concatenate(id_chunks)
-        flat_grads = np.concatenate(grad_chunks, axis=0)
-        stacks: Sequence[np.ndarray] = batch.param_stacks
-        if malicious_has_params:
-            # Interleave parameter contributors in reference upload order.
-            stacks = [np.concatenate(chunks) for chunks in param_chunks]
-        self.server.apply_scatter(flat_ids, flat_grads, stacks)
-
-    def _apply_materialised(
-        self,
-        sampled_list: list[int],
-        num_benign: int,
-        malicious_by_pos: dict[int, ClientUpdate],
-        batch: _RoundBatch,
-    ) -> None:
-        """Rebuild per-client uploads for defenses, filters and audits.
-
-        Robust aggregators need per-item contributor stacks, update
-        filters and audit logs need whole per-client uploads; this path
-        keeps the batched local *training* win while feeding the server
-        exactly what the reference engine would.
-        """
-        updates: list[ClientUpdate] = []
-        row = 0
-        for pos, user_id in enumerate(sampled_list):
-            if user_id < num_benign:
-                seg = slice(
-                    int(batch.starts[row]),
-                    int(batch.starts[row]) + int(batch.lengths[row]),
-                )
-                updates.append(
-                    ClientUpdate(
-                        user_id=user_id,
-                        item_ids=batch.item_ids[seg].copy(),
-                        item_grads=batch.item_grads[seg].copy(),
-                        # Copies, like the item arrays: updates may be
-                        # retained (audit logs) or mutated by filters,
-                        # and views would alias the whole round's stacks.
-                        param_grads=[
-                            stack[row].copy() for stack in batch.param_stacks
-                        ],
-                    )
-                )
-                row += 1
-            else:
-                update = malicious_by_pos.get(pos)
-                if update is not None:
-                    updates.append(update)
-        self.server.apply_updates(updates)
+        param_stacks = [
+            np.concatenate(chunks) for chunks in param_chunks if chunks
+        ]
+        return UpdateBatch(
+            user_ids=np.concatenate(user_chunks)
+            if user_chunks
+            else np.empty(0, dtype=np.int64),
+            item_ids=np.concatenate(id_chunks)
+            if id_chunks
+            else np.empty(0, dtype=np.int64),
+            item_grads=np.concatenate(grad_chunks, axis=0)
+            if grad_chunks
+            else np.empty((0, self.model.embedding_dim)),
+            lengths=np.concatenate(length_chunks)
+            if length_chunks
+            else np.empty(0, dtype=np.int64),
+            param_stacks=param_stacks,
+            param_owners=np.concatenate(owner_chunks)
+            if owner_chunks
+            else np.empty(0, dtype=np.int64),
+            malicious=np.concatenate(mal_chunks)
+            if mal_chunks
+            else np.empty(0, dtype=bool),
+        )

@@ -8,18 +8,21 @@ interaction parameter) by ``param <- param - eta * Agg(grads)``.
 An optional *update filter* hook lets server-side defenses such as
 NormBound pre-process whole client uploads before aggregation.
 
-Two ingestion paths produce bit-identical results under plain-sum
-aggregation:
+Three ingestion paths produce bit-identical results:
 
 * :meth:`Server.apply_updates` — the reference path: one
   :class:`ClientUpdate` per participant, gradients grouped per item,
-  one ``Agg`` call per touched item. Robust aggregators and update
-  filters require this shape.
-* :meth:`Server.apply_scatter` — the fused path used by the
-  batch-client engine: the whole round arrives as pre-concatenated
-  gradient rows, lands in one dense delta buffer via
-  :func:`~repro.federated.aggregation.scatter_sum`, and the server
-  takes a single dense SGD step.
+  one ``Agg`` call per touched item.
+* :meth:`Server.apply_batch` — the batched path used by the
+  batch-client engine for *every* configuration: the whole round
+  arrives as one dense :class:`UpdateBatch`; audit, filters and
+  aggregation (fused scatter under plain sum, grouped
+  ``aggregate_stacks`` kernels under robust aggregation) all run on
+  the stacked tensors.
+* :meth:`Server.apply_scatter` — the bare fused-sum kernel behind the
+  undefended case: pre-concatenated gradient rows land in one dense
+  delta buffer via :func:`~repro.federated.aggregation.scatter_sum`
+  and the server takes a single dense SGD step.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import numpy as np
 from repro.federated.aggregation import Aggregator, SumAggregator, scatter_sum
 from repro.federated.audit import ServerAuditLog
 from repro.federated.payload import ClientUpdate
+from repro.federated.update_batch import UpdateBatch
 from repro.models.base import RecommenderModel
 from repro.rng import spawn
 
@@ -58,6 +62,12 @@ class Server:
         self.update_filter = update_filter
         self.audit_log = audit_log
         self._seed = seed
+        #: Rounds :meth:`apply_batch` had to materialise per-client
+        #: updates because a component lacks a batched protocol (a
+        #: custom update filter without ``filter_batch``). The
+        #: defended-throughput CI smoke asserts this stays zero for
+        #: every registry defense.
+        self.materialized_rounds = 0
 
     def sample_users(self, num_users_total: int, batch: int, round_idx: int) -> np.ndarray:
         """Uniformly sample the participant set U_r for a round."""
@@ -120,9 +130,102 @@ class Server:
             ]
             self.model.apply_param_update(deltas)
 
+    def apply_batch(self, batch: UpdateBatch) -> None:
+        """Apply one round from a dense :class:`UpdateBatch`.
+
+        The batched ingestion path used by the batch-client engine for
+        *every* server configuration: the audit log records from the
+        stacks, batched filters transform them, and aggregation either
+        collapses into one fused scatter (plain-sum aggregators) or
+        runs the grouped robust kernels
+        (:meth:`_apply_item_batch_grouped`).  Bit-identical to
+        :meth:`apply_updates` on the equivalent materialised updates —
+        the layout invariants of :class:`UpdateBatch` plus the
+        lane-stable aggregator kernels guarantee it, and the parity
+        suite in ``tests/test_batch_defended.py`` asserts it for every
+        registry defense.
+
+        A custom update filter without a ``filter_batch`` method drops
+        this round back to the materialised reference path (counted in
+        ``materialized_rounds``).
+        """
+        if batch.num_clients == 0:
+            return
+        if self.audit_log is not None:
+            # Raw uploads, before any defense filter — same contract
+            # as apply_updates.
+            self.audit_log.record_batch(batch)
+        if self.update_filter is not None:
+            filter_batch = getattr(self.update_filter, "filter_batch", None)
+            if filter_batch is None:
+                self.materialized_rounds += 1
+                updates = self.update_filter(batch.to_updates())
+                self._apply_item_updates(updates)
+                self._apply_param_updates(updates)
+                return
+            batch = filter_batch(batch)
+
+        if self.aggregator.supports_scatter:
+            if len(batch.item_ids):
+                buffer = scatter_sum(
+                    batch.item_ids, batch.item_grads, self.model.num_items
+                )
+                self.model.item_embeddings += -self.lr * buffer
+        else:
+            self._apply_item_batch_grouped(batch)
+        self._apply_param_batch(batch)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _apply_item_batch_grouped(self, batch: UpdateBatch) -> None:
+        """Robust aggregation over per-item contributor stacks, batched.
+
+        A stable sort by item id regroups the flat round rows into
+        per-item contributor stacks whose internal order is the upload
+        order — exactly the stacks :meth:`_apply_item_updates` builds
+        one dict entry at a time.  Items sharing a contributor count
+        form dense ``(groups, count, dim)`` tensors that go through
+        the aggregator's grouped kernel in one call each; distinct
+        counts are few (bounded by the round's activity profile), so a
+        defended round costs a handful of vectorised kernel calls
+        instead of one Python ``aggregate`` per touched item.
+        """
+        if len(batch.item_ids) == 0:
+            return
+        order = np.argsort(batch.item_ids, kind="stable")
+        sorted_ids = batch.item_ids[order]
+        sorted_grads = batch.item_grads[order]
+        # Group boundaries straight off the sorted ids (np.unique would
+        # sort a second time).
+        change = np.empty(len(sorted_ids), dtype=bool)
+        change[0] = True
+        np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=change[1:])
+        first_rows = np.flatnonzero(change)
+        unique_ids = sorted_ids[first_rows]
+        counts = np.diff(np.append(first_rows, len(sorted_ids)))
+        deltas = np.empty((len(unique_ids), self.model.embedding_dim))
+        for count in np.unique(counts):
+            group = np.flatnonzero(counts == count)
+            gather = first_rows[group][:, None] + np.arange(count)[None, :]
+            deltas[group] = self.aggregator.aggregate_stacks(sorted_grads[gather])
+        deltas *= -self.lr
+        self.model.apply_item_update(unique_ids, deltas)
+
+    def _apply_param_batch(self, batch: UpdateBatch) -> None:
+        params = self.model.interaction_params()
+        if not params or not batch.param_stacks or not len(batch.param_owners):
+            return
+        deltas: list[np.ndarray] = []
+        for param, stack in zip(params, batch.param_stacks):
+            if stack.shape[1:] != param.shape:
+                raise ValueError(
+                    f"parameter gradient shape {stack.shape[1:]} does not "
+                    f"match parameter {param.shape}"
+                )
+            deltas.append(-self.lr * self.aggregator.aggregate(stack))
+        self.model.apply_param_update(deltas)
 
     def _apply_item_updates(self, updates: Sequence[ClientUpdate]) -> None:
         per_item: dict[int, list[np.ndarray]] = {}

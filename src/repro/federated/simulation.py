@@ -10,8 +10,11 @@ Two execution engines run the identical protocol:
 
 * ``engine="batch"`` (default) — the vectorised
   :class:`~repro.federated.batch_engine.BatchClientEngine`: all sampled
-  clients' local steps run as stacked tensor ops and the server applies
-  one fused scatter per round;
+  clients' local steps (BCE or BPR) run as stacked tensor ops and the
+  server consumes the round as one dense
+  :class:`~repro.federated.update_batch.UpdateBatch` — fused scatter
+  when undefended, grouped batched kernels for robust aggregators,
+  batched filters and audit otherwise;
 * ``engine="loop"`` — the reference implementation: one pure-Python
   ``participate`` call per sampled client, per-item grouped
   aggregation.
@@ -157,7 +160,6 @@ class FederatedSimulation:
                 self.malicious_clients,
                 config.train,
                 config.seed,
-                loop_round=self._run_round_loop,
             )
             if engine == "batch"
             else None
@@ -199,8 +201,7 @@ class FederatedSimulation:
         """Reference per-client round: one ``participate`` call per user.
 
         Kept as the executable specification the batch engine is tested
-        against; also handles semantics the batched step does not cover
-        (see :class:`BatchClientEngine`).
+        against, bit for bit, by the parity suites.
         """
         updates = []
         num_benign = len(self.benign_clients)

@@ -1,0 +1,210 @@
+"""Dense whole-round upload representation for the batch-client engine.
+
+One :class:`UpdateBatch` holds every participant's upload of one
+communication round in the same ragged row-stack layout the batch
+engine trains in: flat row-aligned ``item_ids`` / ``item_grads``
+arrays in which client ``k`` owns a contiguous segment of
+``lengths[k]`` rows, plus one ``(contributors, *param_shape)`` stack
+per learnable interaction parameter.  It is the server-side dual of
+the engine's training stacks — robust aggregators, update filters and
+the audit log consume these tensors directly instead of a list of
+materialised :class:`~repro.federated.payload.ClientUpdate` objects.
+
+Layout invariants (everything downstream relies on them):
+
+* clients appear in *upload order* — the order the reference loop
+  engine would have called ``Server.apply_updates`` with;
+* within a client's segment, rows keep that client's upload row order
+  (so any per-item regrouping that is stable in row order reproduces
+  the reference engine's per-item contributor stacks exactly);
+* ``param_owners`` lists, in upload order, the client positions that
+  contributed interaction-parameter gradients; ``param_stacks[i][j]``
+  is the ``i``-th parameter gradient of client ``param_owners[j]``;
+* ``malicious`` is ground-truth bookkeeping mirrored from
+  ``ClientUpdate.malicious`` — read by the audit log and analysis
+  code only, never by a defense.
+
+Filters return *new* batches (or the input unchanged); the arrays of a
+batch handed to :meth:`repro.federated.server.Server.apply_batch` are
+never mutated in place, so the engine may pass views of its round
+stacks without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate
+from repro.models.base import segment_starts
+
+__all__ = ["UpdateBatch"]
+
+
+@dataclass
+class UpdateBatch:
+    """All client uploads of one round, in ragged row-stack layout."""
+
+    user_ids: np.ndarray  # (clients,) int64, upload order
+    item_ids: np.ndarray  # (total_rows,) int64
+    item_grads: np.ndarray  # (total_rows, dim) float64
+    lengths: np.ndarray  # (clients,) rows per client
+    param_stacks: list[np.ndarray] = field(default_factory=list)
+    param_owners: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    malicious: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=bool)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.malicious) == 0 and len(self.user_ids):
+            self.malicious = np.zeros(len(self.user_ids), dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Row offset of each client's segment (CSR-style)."""
+        return segment_starts(self.lengths)
+
+    def row_owners(self) -> np.ndarray:
+        """Client position owning each row: ``(total_rows,)``."""
+        return np.repeat(np.arange(self.num_clients), self.lengths)
+
+    # ------------------------------------------------------------------
+    # Norms (bit-identical to the ClientUpdate equivalents)
+    # ------------------------------------------------------------------
+
+    def row_norms(self) -> np.ndarray:
+        """Per-row L2 norms — matches ``np.linalg.norm(grads, axis=1)``
+        computed per client, because the reduction is row-wise."""
+        return np.linalg.norm(self.item_grads, axis=1)
+
+    def client_total_norms(self) -> np.ndarray:
+        """Per-client whole-upload L2 norm.
+
+        Matches :attr:`ClientUpdate.total_norm` bit for bit.  The
+        reference sums each client's squared gradients with one
+        ``np.sum`` over its contiguous ``(rows, dim)`` segment — a
+        pairwise reduction over ``rows * dim`` flat elements whose
+        blocking depends only on the element count.  Clients with
+        equal element counts therefore reduce identically, so they are
+        gathered into one ``(clients, count)`` matrix and summed along
+        its rows in a single call per distinct count.  Parameter
+        tensors accumulate into their own running sum first and join
+        the item total in one final addition — the association
+        Python's ``sum()`` gives the reference property.
+        """
+        totals = np.empty(self.num_clients)
+        flat = (self.item_grads**2).ravel()
+        dim = self.item_grads.shape[1] if self.item_grads.ndim == 2 else 0
+        flat_starts = self.starts * dim
+        flat_lengths = self.lengths * dim
+        for count in np.unique(flat_lengths):
+            group = np.flatnonzero(flat_lengths == count)
+            if count == 0:
+                totals[group] = 0.0
+                continue
+            gather = flat_starts[group][:, None] + np.arange(int(count))[None, :]
+            totals[group] = flat[gather].sum(axis=1)
+        if len(self.param_owners):
+            param_totals = np.zeros(self.num_clients)
+            for j, owner in enumerate(self.param_owners):
+                for stack in self.param_stacks:
+                    param_totals[int(owner)] += np.sum(stack[j] ** 2)
+            totals += param_totals
+        return np.sqrt(totals)
+
+    # ------------------------------------------------------------------
+    # Transformations used by batched filters
+    # ------------------------------------------------------------------
+
+    def scaled_by_client(self, scales: np.ndarray) -> "UpdateBatch":
+        """New batch with every client's whole upload scaled.
+
+        ``scales`` has one float64 factor per client; a factor of
+        exactly 1.0 leaves that client's values bit-identical (IEEE
+        ``x * 1.0 == x``), mirroring :meth:`ClientUpdate.clipped`
+        returning the update untouched.
+        """
+        row_scales = np.repeat(scales, self.lengths)
+        item_grads = self.item_grads * row_scales[:, None]
+        param_stacks = []
+        if self.param_stacks and len(self.param_owners):
+            owner_scales = scales[self.param_owners]
+            for stack in self.param_stacks:
+                shape = (len(owner_scales),) + (1,) * (stack.ndim - 1)
+                param_stacks.append(stack * owner_scales.reshape(shape))
+        else:
+            param_stacks = list(self.param_stacks)
+        return replace(self, item_grads=item_grads, param_stacks=param_stacks)
+
+    def with_item_grads(self, item_grads: np.ndarray) -> "UpdateBatch":
+        """New batch sharing every array except the item gradients."""
+        return replace(self, item_grads=item_grads)
+
+    # ------------------------------------------------------------------
+    # ClientUpdate interop
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_updates(cls, updates: list[ClientUpdate]) -> "UpdateBatch":
+        """Stack a list of per-client uploads into one dense batch."""
+        if not updates:
+            zero = np.empty(0, dtype=np.int64)
+            return cls(zero, zero, np.empty((0, 0)), zero)
+        user_ids = np.array([u.user_id for u in updates], dtype=np.int64)
+        lengths = np.array([len(u.item_ids) for u in updates], dtype=np.int64)
+        item_ids = np.concatenate([u.item_ids for u in updates])
+        item_grads = np.concatenate([u.item_grads for u in updates], axis=0)
+        malicious = np.array([u.malicious for u in updates], dtype=bool)
+        owners = [k for k, u in enumerate(updates) if u.param_grads]
+        param_stacks: list[np.ndarray] = []
+        if owners:
+            num_params = len(updates[owners[0]].param_grads)
+            param_stacks = [
+                np.stack([updates[k].param_grads[i] for k in owners])
+                for i in range(num_params)
+            ]
+        return cls(
+            user_ids=user_ids,
+            item_ids=item_ids,
+            item_grads=item_grads,
+            lengths=lengths,
+            param_stacks=param_stacks,
+            param_owners=np.array(owners, dtype=np.int64),
+            malicious=malicious,
+        )
+
+    def to_updates(self) -> list[ClientUpdate]:
+        """Materialise per-client uploads (compat fallback only).
+
+        Used when a server component (a custom update filter) has no
+        batched protocol; arrays are copied because materialised
+        updates may be retained or mutated downstream.
+        """
+        param_rows: dict[int, list[np.ndarray]] = {}
+        for j, owner in enumerate(self.param_owners):
+            param_rows[int(owner)] = [stack[j].copy() for stack in self.param_stacks]
+        updates = []
+        starts = self.starts
+        for k in range(self.num_clients):
+            seg = slice(int(starts[k]), int(starts[k]) + int(self.lengths[k]))
+            updates.append(
+                ClientUpdate(
+                    user_id=int(self.user_ids[k]),
+                    item_ids=self.item_ids[seg].copy(),
+                    item_grads=self.item_grads[seg].copy(),
+                    param_grads=param_rows.get(k, []),
+                    malicious=bool(self.malicious[k]),
+                )
+            )
+        return updates

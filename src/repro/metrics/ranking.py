@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.base import InteractionDataset
-from repro.rng import spawn
+from repro.datasets.sampling import _accept_draw
+from repro.rng import spawn_batch
 
 __all__ = ["top_k_items", "exposure_ratio_at_k", "hit_ratio_at_k", "sample_eval_negatives"]
 
@@ -73,26 +74,49 @@ def sample_eval_negatives(
     The NCF protocol ranks the held-out test item against ``num_negatives``
     items the user has not interacted with. Sampling once (deterministic
     in the seed) keeps HR@K comparable across rounds and methods.
+
+    Each user still owns its private labelled RNG stream
+    (``spawn(seed, "eval-neg", user)``, derived for all users at once
+    via :func:`~repro.rng.spawn_batch`), but the rejection filtering is
+    NumPy-vectorised per draw instead of walking draws element by
+    element through Python sets — the same accepted sequence, and
+    therefore bit-identical negatives, at a fraction of the set-up
+    cost on production user counts.
     """
     negatives: list[np.ndarray] = []
-    for user in range(dataset.num_users):
-        rng = spawn(seed, "eval-neg", user)
-        banned = dataset.train_set(user) | {int(dataset.test_items[user])}
-        pool_size = dataset.num_items - len(banned)
+    rngs = spawn_batch(seed, ("eval-neg",), np.arange(dataset.num_users))
+    excluded = np.zeros(dataset.num_items, dtype=bool)  # shared scratch buffer
+    for user, rng in enumerate(rngs):
+        positives = dataset.train_pos[user]
+        test_item = int(dataset.test_items[user])
+        # The reference banned set is positives | {test_item}; a held-out
+        # (or absent, -1) test item is never a positive, so its only
+        # effect on the pool size is the extra banned entry.
+        banned_size = len(positives) + (0 if (positives == test_item).any() else 1)
+        pool_size = dataset.num_items - banned_size
         count = min(num_negatives, max(pool_size, 0))
-        chosen: list[int] = []
-        seen: set[int] = set()
-        while len(chosen) < count:
+        if count <= 0:
+            negatives.append(np.empty(0, dtype=np.int64))
+            continue
+        excluded[positives] = True
+        if test_item >= 0:
+            excluded[test_item] = True
+        chunks: list[np.ndarray] = []
+        need = count
+        while need > 0:
             draw = rng.integers(0, dataset.num_items, size=max(2 * count, 8))
-            for j in draw:
-                j = int(j)
-                if j in banned or j in seen:
-                    continue
-                seen.add(j)
-                chosen.append(j)
-                if len(chosen) == count:
-                    break
-        negatives.append(np.asarray(chosen, dtype=np.int64))
+            fresh = _accept_draw(draw, excluded)[:need]
+            chunks.append(fresh)
+            need -= len(fresh)
+            if need > 0:
+                excluded[fresh] = True
+        chosen = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        excluded[positives] = False
+        if test_item >= 0:
+            excluded[test_item] = False
+        for chunk in chunks[:-1]:
+            excluded[chunk] = False
+        negatives.append(chosen)
     return negatives
 
 
@@ -106,21 +130,32 @@ def hit_ratio_at_k(
 
     For each user with a held-out test item: hit if the test item's
     score beats all but at most ``k - 1`` of the sampled negatives.
+    Ties count half a loss each, so a degenerate constant-output model
+    scores ~k/(negatives+1) instead of a spurious 100%.
+
+    Computed as one batched rank pass over all evaluable users: the
+    per-user negative lists (equal-length in the standard protocol,
+    padded and masked otherwise) gather into a ``(users, negatives)``
+    score matrix and the win/tie counts reduce along its rows — the
+    same integer counts, and therefore the same ranks and mean, as the
+    per-user reference loop.
     """
-    hits = []
-    for user in range(dataset.num_users):
-        test_item = int(dataset.test_items[user])
-        if test_item < 0:
-            continue
-        negs = eval_negatives[user]
-        if len(negs) == 0:
-            continue
-        test_score = scores[user, test_item]
-        # Ties count half a loss each, so a degenerate constant-output
-        # model scores ~k/(negatives+1) instead of a spurious 100%.
-        rank = float(
-            np.sum(scores[user, negs] > test_score)
-            + 0.5 * np.sum(scores[user, negs] == test_score)
-        )
-        hits.append(1.0 if rank < k else 0.0)
-    return float(np.mean(hits)) if hits else 0.0
+    test_items = dataset.test_items.astype(np.int64)
+    users = np.flatnonzero(
+        (test_items >= 0)
+        & np.array([len(negs) > 0 for negs in eval_negatives], dtype=bool)
+    )
+    if not len(users):
+        return 0.0
+    lens = np.array([len(eval_negatives[u]) for u in users], dtype=np.int64)
+    width = int(lens.max())
+    padded = np.zeros((len(users), width), dtype=np.int64)
+    for row, user in enumerate(users):
+        padded[row, : lens[row]] = eval_negatives[user]
+    mask = np.arange(width)[None, :] < lens[:, None]
+    test_scores = scores[users, test_items[users]]
+    neg_scores = scores[users[:, None], padded]
+    greater = ((neg_scores > test_scores[:, None]) & mask).sum(axis=1)
+    equal = ((neg_scores == test_scores[:, None]) & mask).sum(axis=1)
+    ranks = greater + 0.5 * equal
+    return float(np.mean((ranks < k).astype(np.float64)))

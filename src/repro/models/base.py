@@ -186,6 +186,48 @@ class RecommenderModel(ABC):
             user_grads=user_grads, item_grads=bundle.items, param_grads=[]
         )
 
+    def batch_local_step_bpr(
+        self,
+        user_vecs: np.ndarray,
+        pos_item_vecs: np.ndarray,
+        neg_item_vecs: np.ndarray,
+        lengths: np.ndarray,
+    ) -> BatchStepResult:
+        """One BPR local step for a whole stack of clients at once.
+
+        ``pos_item_vecs`` / ``neg_item_vecs`` are the ragged row-stacks
+        of every client's paired positive / negative item vectors
+        (client ``k`` owns ``lengths[k]`` pairs in each).  Runs the two
+        row-wise forward passes and the pairwise-loss backward over all
+        clients' pairs in one call, with per-client reductions (the
+        user-gradient sums) over each client's exact row segments —
+        the same arithmetic, in the same order, as
+        ``BenignClient._bpr_step`` per client.
+
+        Following the reference BPR protocol, interaction-parameter
+        gradients are *not* uploaded (``param_grads`` is empty), so
+        this single implementation serves every model; the returned
+        ``item_grads`` are the positive rows followed by the negative
+        rows, each aligned with its input stack — duplicate-item
+        merging is the engine's job, where the item ids live.
+        """
+        from repro.models.losses import bpr_grad_segmented
+
+        dim = user_vecs.shape[1]
+        flat_users = np.repeat(user_vecs, lengths, axis=0)
+        pos_logits, pos_cache = self.forward(flat_users, pos_item_vecs)
+        neg_logits, neg_cache = self.forward(flat_users, neg_item_vecs)
+        dpos, dneg = bpr_grad_segmented(pos_logits, neg_logits, lengths)
+        pos_bundle = self.backward(pos_cache, dpos)
+        neg_bundle = self.backward(neg_cache, dneg)
+        user_grads = segment_sums(
+            pos_bundle.users, lengths, dim
+        ) + segment_sums(neg_bundle.users, lengths, dim)
+        item_grads = np.concatenate([pos_bundle.items, neg_bundle.items], axis=0)
+        return BatchStepResult(
+            user_grads=user_grads, item_grads=item_grads, param_grads=[]
+        )
+
     def apply_item_update(self, item_ids: np.ndarray, delta: np.ndarray) -> None:
         """Add ``delta`` rows to the given item embeddings in place."""
         np.add.at(self.item_embeddings, item_ids, delta)

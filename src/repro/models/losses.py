@@ -16,6 +16,7 @@ __all__ = [
     "bce_loss_and_grad",
     "bce_grad_segmented",
     "bpr_loss_and_grad",
+    "bpr_grad_segmented",
 ]
 
 
@@ -85,3 +86,22 @@ def bpr_loss_and_grad(
     # d/d diff of -log sigmoid(diff) is sigmoid(diff) - 1.
     ddiff = (sigmoid(diff) - 1.0) / n
     return loss, ddiff, -ddiff
+
+
+def bpr_grad_segmented(
+    pos_logits: np.ndarray, neg_logits: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """BPR logit gradients for ragged row-stacks of per-client pairs.
+
+    ``pos_logits``/``neg_logits`` are flat ``(total_pairs,)`` arrays in
+    which client ``k`` owns a contiguous segment of ``lengths[k]``
+    paired rows.  Each pair receives ``(sigmoid(diff) - 1) /
+    lengths[k]`` — the same value :func:`bpr_loss_and_grad` computes
+    for that client's pairs alone, because dividing by the identical
+    float64 divisor is the identical IEEE operation.  Returns
+    ``(d/d pos_logits, d/d neg_logits)`` aligned with the inputs.
+    """
+    divisors = np.repeat(np.maximum(lengths, 1), lengths)
+    diff = pos_logits - neg_logits
+    ddiff = (sigmoid(diff) - 1.0) / divisors
+    return ddiff, -ddiff

@@ -126,7 +126,7 @@ class TestEngineParity:
         )
         assert_identical_runs(*run_both(cfg, rounds=8))
 
-    def test_bpr_falls_back_to_loop(self, tiny_mf_config):
+    def test_bpr_batched_identical(self, tiny_mf_config):
         cfg = replace(
             tiny_mf_config, train=replace(tiny_mf_config.train, loss="bpr")
         )
