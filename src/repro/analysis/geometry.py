@@ -91,6 +91,9 @@ def property3_report(
 
     Uses ground-truth popularity (analysis-side, not attacker-side) so
     the report isolates the geometry question from mining quality.
+    ``sim.user_embedding_matrix()`` is a zero-copy view of the live
+    client-state store — reading it here costs nothing at any user
+    count, and nothing below mutates it.
     """
     popularity = sim.dataset.popularity()
     top = np.argsort(popularity)[::-1][:num_popular]

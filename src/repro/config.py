@@ -94,6 +94,11 @@ class TrainConfig:
     eval_every: int = 0  # 0 = evaluate only at the end
     eval_num_negatives: int = 99
     top_k: int = 10
+    #: Users scored per block during evaluation. Evaluation streams
+    #: over user blocks (peak memory O(block x items) instead of
+    #: O(users x items)) with results independent of the block size;
+    #: ``None`` picks a memory-bounded default from the catalogue size.
+    eval_chunk_users: int | None = None
 
     @property
     def effective_client_lr(self) -> float:

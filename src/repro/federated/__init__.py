@@ -14,6 +14,7 @@ from repro.federated.client import BenignClient
 from repro.federated.payload import ClientUpdate
 from repro.federated.server import Server
 from repro.federated.simulation import EvalRecord, FederatedSimulation, SimulationResult
+from repro.federated.state import ClientStateStore, ClientViewList
 from repro.federated.update_batch import UpdateBatch
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "scatter_sum",
     "BatchClientEngine",
     "BenignClient",
+    "ClientStateStore",
+    "ClientViewList",
     "Server",
     "FederatedSimulation",
     "SimulationResult",

@@ -38,6 +38,18 @@ passes over all sampled participants at once:
    :class:`ClientUpdate` objects are materialised for any registry
    defense, filter, or audit configuration.
 
+Client state enters and leaves the round through a
+:class:`~repro.federated.state.ClientStateStore` when one is attached
+(the default for every simulation): participant embeddings are
+*gathered* from the store's dense user matrix by fancy indexing,
+positives are zero-copy CSR slices, per-client learning rates come
+from the store's vectorised cache, and the updated embeddings are
+*scattered* back in one assignment.  Without a store the engine falls
+back to stacking ``BenignClient`` objects row by row — the original
+object-per-user path, kept as the benchmark baseline and counted in
+``stacked_rounds`` so CI can assert the store path never silently
+degrades to it.
+
 Bit-exactness is a design invariant, not an approximation: every RNG
 stream, every row-wise op, and every reduction matches the loop engine
 bit for bit (NumPy scatters and reduces sequentially, so grouping rows
@@ -96,6 +108,8 @@ class BatchClientEngine:
         malicious_clients: list,
         train_cfg: TrainConfig,
         seed: int,
+        *,
+        state=None,
     ):
         self.model = model
         self.server = server
@@ -103,19 +117,33 @@ class BatchClientEngine:
         self.malicious_clients = malicious_clients
         self.train_cfg = train_cfg
         self.seed = seed
+        #: The struct-of-arrays client state this engine gathers from
+        #: and scatters to; ``None`` selects the object-per-user
+        #: fallback path.
+        self.state = state
+        #: Rounds that ran on the object-per-user fallback (stacking
+        #: ``BenignClient`` attributes row by row instead of indexing
+        #: the store).  The state-scale CI smoke asserts this stays
+        #: zero for store-backed simulations.
+        self.stacked_rounds = 0
 
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
 
+    @property
+    def num_benign(self) -> int:
+        if self.state is not None:
+            return self.state.num_users
+        return len(self.benign_clients)
+
     def run_round(self, round_idx: int, sampled: np.ndarray) -> None:
         """Execute one communication round for the sampled user ids."""
-        num_benign = len(self.benign_clients)
+        num_benign = self.num_benign
         sampled_list = [int(user_id) for user_id in sampled]
         benign_ids = np.array(
             [u for u in sampled_list if u < num_benign], dtype=np.int64
         )
-        clients = [self.benign_clients[u] for u in benign_ids]
 
         # Malicious participants run their own (already attacker-internal
         # vectorised) logic; the global model is frozen within a round, so
@@ -130,7 +158,7 @@ class BatchClientEngine:
                 if update is not None:
                     malicious_by_pos[pos] = update
 
-        batch = self._benign_batch_step(clients, benign_ids, round_idx)
+        batch = self._benign_batch_step(benign_ids, round_idx)
         round_batch = self._assemble(
             sampled_list, num_benign, benign_ids, malicious_by_pos, batch
         )
@@ -141,45 +169,68 @@ class BatchClientEngine:
     # ------------------------------------------------------------------
 
     def _benign_batch_step(
-        self,
-        clients: list[BenignClient],
-        benign_ids: np.ndarray,
-        round_idx: int,
+        self, benign_ids: np.ndarray, round_idx: int
     ) -> _RoundBatch:
-        """Run every sampled benign client's local step in one batch."""
-        if not clients:
+        """Run every sampled benign client's local step in one batch.
+
+        Participant state enters as one embedding gather plus zero-copy
+        CSR positive slices when a store is attached; the object
+        fallback stacks the same values attribute by attribute.  Both
+        feed the identical stacked arithmetic below, and the store
+        writes results back as one scatter instead of a per-object
+        assignment loop.
+        """
+        store = self.state
+        if not len(benign_ids):
             zero = np.empty(0, dtype=np.int64)
             return _RoundBatch(
                 zero, zero, zero, np.empty((0, self.model.embedding_dim))
             )
 
-        for client in clients:
-            if client.regularizer is not None:
-                client.regularizer.observe(self.model.item_embeddings)
+        if store is not None:
+            regs = (
+                [store.regularizer(int(u)) for u in benign_ids]
+                if store.has_regularizers
+                else None
+            )
+            user_vecs = store.user_embeddings[benign_ids]
+            positives_list = store.positives_list(benign_ids)
+            clients = None
+        else:
+            self.stacked_rounds += 1
+            clients = [self.benign_clients[int(u)] for u in benign_ids]
+            regs = [client.regularizer for client in clients]
+            user_vecs = np.stack([client.user_embedding for client in clients])
+            positives_list = [client.positive_items for client in clients]
+        if regs is not None and not any(reg is not None for reg in regs):
+            regs = None
+        if regs is not None:
+            for reg in regs:
+                if reg is not None:
+                    reg.observe(self.model.item_embeddings)
 
         rngs = spawn_batch(self.seed, ("client-round",), benign_ids, (round_idx,))
-        user_vecs = np.stack([client.user_embedding for client in clients])
         if self.train_cfg.loss == "bpr":
             item_ids, lengths, item_grads, user_grads = self._bpr_stacks(
-                clients, rngs, user_vecs
+                positives_list, rngs, user_vecs
             )
-            param_stacks, param_owners = self._bpr_param_stacks(clients)
+            param_stacks, param_owners = self._bpr_param_stacks(regs)
         else:
             # Any non-BPR loss trains with BCE, exactly like the
             # reference client.
             item_ids, lengths, item_grads, user_grads, param_stacks = (
-                self._bce_stacks(clients, rngs, user_vecs)
+                self._bce_stacks(positives_list, rngs, user_vecs)
             )
             param_owners = (
-                np.arange(len(clients), dtype=np.int64)
+                np.arange(len(benign_ids), dtype=np.int64)
                 if param_stacks
                 else np.empty(0, dtype=np.int64)
             )
         starts = segment_starts(lengths)
 
-        if any(client.regularizer is not None for client in clients):
+        if regs is not None:
             self._apply_regularizers(
-                clients, item_ids, lengths, starts,
+                regs, user_vecs, item_ids, lengths, starts,
                 item_grads, user_grads, param_stacks, param_owners,
             )
 
@@ -189,12 +240,18 @@ class BatchClientEngine:
             lrs: np.ndarray | float = self.train_cfg.effective_client_lr
             new_users = user_vecs - lrs * user_grads
         else:
-            lrs = np.array(
-                [client._client_lr(self.train_cfg) for client in clients]
-            )
+            if store is not None:
+                lrs = store.client_lrs(self.train_cfg.client_lr_range)[benign_ids]
+            else:
+                lrs = np.array(
+                    [client._client_lr(self.train_cfg) for client in clients]
+                )
             new_users = user_vecs - lrs[:, None] * user_grads
-        for client, row in zip(clients, new_users):
-            client.user_embedding = row
+        if store is not None:
+            store.user_embeddings[benign_ids] = new_users
+        else:
+            for client, row in zip(clients, new_users):
+                client.user_embedding = row
 
         return _RoundBatch(
             item_ids, lengths, starts, item_grads, param_stacks, param_owners
@@ -202,14 +259,14 @@ class BatchClientEngine:
 
     def _bce_stacks(
         self,
-        clients: list[BenignClient],
+        positives_list: list[np.ndarray],
         rngs: list[np.random.Generator],
         user_vecs: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
         """Stacked BCE local batches and gradients for all clients."""
         item_ids, labels, lengths = sample_local_batches(
             rngs,
-            [client.positive_items for client in clients],
+            positives_list,
             self.model.num_items,
             self.train_cfg.negative_ratio,
         )
@@ -219,7 +276,7 @@ class BatchClientEngine:
 
     def _bpr_stacks(
         self,
-        clients: list[BenignClient],
+        positives_list: list[np.ndarray],
         rngs: list[np.random.Generator],
         user_vecs: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -233,7 +290,7 @@ class BatchClientEngine:
         realised here as *one* ``np.unique`` over client-offset item
         keys, whose per-client blocks are the per-client results.
         """
-        positives_list = [client.positive_items for client in clients]
+        num_clients = len(positives_list)
         counts = np.array([len(p) for p in positives_list], dtype=np.int64)
         negatives = sample_negatives_batch(
             rngs, positives_list, self.model.num_items, counts
@@ -256,12 +313,15 @@ class BatchClientEngine:
 
         # Interleave each client's positive and negative rows into the
         # reference upload order (positives first), then merge duplicate
-        # items per client.
+        # items per client.  Both buffers inherit the gradient dtype so
+        # reduced-precision models upload at their own precision.
         starts = segment_starts(lengths)
         within = np.arange(total) - np.repeat(starts, lengths)
         dest_base = np.repeat(2 * starts, lengths)
         all_ids = np.empty(2 * total, dtype=np.int64)
-        all_grads = np.empty((2 * total, self.model.embedding_dim))
+        all_grads = np.empty(
+            (2 * total, self.model.embedding_dim), dtype=result.item_grads.dtype
+        )
         pos_dest = dest_base + within
         neg_dest = dest_base + np.repeat(lengths, lengths) + within
         all_ids[pos_dest] = pos_ids
@@ -269,19 +329,21 @@ class BatchClientEngine:
         all_grads[pos_dest] = pos_grads
         all_grads[neg_dest] = neg_grads
 
-        owners = np.repeat(np.arange(len(clients), dtype=np.int64), 2 * lengths)
+        owners = np.repeat(np.arange(num_clients, dtype=np.int64), 2 * lengths)
         keys = owners * self.model.num_items + all_ids
         unique_keys, inverse = np.unique(keys, return_inverse=True)
-        merged = np.zeros((len(unique_keys), self.model.embedding_dim))
+        merged = np.zeros(
+            (len(unique_keys), self.model.embedding_dim), dtype=all_grads.dtype
+        )
         np.add.at(merged, inverse, all_grads)
         merged_ids = unique_keys % self.model.num_items
         merged_lengths = np.bincount(
-            unique_keys // self.model.num_items, minlength=len(clients)
+            unique_keys // self.model.num_items, minlength=num_clients
         ).astype(np.int64)
         return merged_ids, merged_lengths, merged, result.user_grads
 
     def _bpr_param_stacks(
-        self, clients: list[BenignClient]
+        self, regs: list | None
     ) -> tuple[list[np.ndarray], np.ndarray]:
         """Zero parameter stacks for the regularised BPR edge case.
 
@@ -292,25 +354,28 @@ class BatchClientEngine:
         clients (the terms are added in :meth:`_apply_regularizers`).
         """
         params = self.model.interaction_params()
-        if not params:
+        if not params or regs is None:
             return [], np.empty(0, dtype=np.int64)
         owners = np.array(
             [
                 row
-                for row, client in enumerate(clients)
-                if client.regularizer is not None
-                and getattr(client.regularizer, "param_grad_terms", None) is not None
+                for row, reg in enumerate(regs)
+                if reg is not None
+                and getattr(reg, "param_grad_terms", None) is not None
             ],
             dtype=np.int64,
         )
         if not len(owners):
             return [], owners
-        stacks = [np.zeros((len(owners),) + p.shape) for p in params]
+        stacks = [
+            np.zeros((len(owners),) + p.shape, dtype=p.dtype) for p in params
+        ]
         return stacks, owners
 
     def _apply_regularizers(
         self,
-        clients: list[BenignClient],
+        regs: list,
+        user_vecs: np.ndarray,
         item_ids: np.ndarray,
         lengths: np.ndarray,
         starts: np.ndarray,
@@ -323,22 +388,22 @@ class BatchClientEngine:
 
         Mirrors the regularizer hook sequence of
         :meth:`BenignClient.participate` on each client's row segment of
-        the stacked tensors; the hooks themselves are already
-        vectorised, so this per-client pass costs one hook call per
-        defended client.
+        the stacked tensors (``user_vecs`` rows are the pre-update
+        embeddings the reference hooks see); the hooks themselves are
+        already vectorised, so this per-client pass costs one hook call
+        per defended client.
         """
         item_matrix = self.model.item_embeddings
         has_params = bool(self.model.interaction_params())
         stack_row = {int(owner): j for j, owner in enumerate(param_owners)}
-        for row, client in enumerate(clients):
-            regularizer = client.regularizer
+        for row, regularizer in enumerate(regs):
             if regularizer is None:
                 continue
             seg = slice(int(starts[row]), int(starts[row]) + int(lengths[row]))
             ids = item_ids[seg]
             item_grads[seg] += regularizer.item_grad_terms(ids, item_matrix)
             user_grads[row] += regularizer.user_grad_term(
-                client.user_embedding, item_matrix
+                user_vecs[row], item_matrix
             )
             param_hook = getattr(regularizer, "param_grad_terms", None)
             if param_hook is not None and has_params and row in stack_row:

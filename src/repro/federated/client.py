@@ -16,6 +16,25 @@ vectorised batch engine (:mod:`repro.federated.batch_engine`) executes
 the same mathematics for a whole round's participants at once and is
 tested to match it bit for bit, drawing from the same per-client RNG
 stream ``spawn(seed, "client-round", user_id, round_idx)``.
+
+A client exists in one of two storage modes with identical behaviour:
+
+* **standalone** (the constructor) — the client owns its embedding and
+  interaction arrays, exactly the original object-per-user layout;
+* **store-backed** (:meth:`BenignClient.from_store`) — the client is a
+  thin view over one row of a
+  :class:`~repro.federated.state.ClientStateStore`: ``user_embedding``
+  and ``positive_items`` read and write the store's flat arrays, so
+  per-object code (this loop reference, attacks, analysis) and the
+  store-vectorised batch engine observe the same state.
+
+One deliberate asymmetry: assigning ``user_embedding`` on a
+store-backed view writes the *values* into the store row, so the
+store's dtype governs (a single row of a dense matrix cannot change
+precision independently), whereas a standalone client rebinds its
+owned array and adopts the assigned dtype.  To run a population at
+reduced precision, convert the store matrix itself
+(``store.user_embeddings = store.user_embeddings.astype(...)``).
 """
 
 from __future__ import annotations
@@ -47,12 +66,68 @@ class BenignClient:
         regularizer=None,
     ):
         self.user_id = user_id
-        self.positive_items = np.asarray(positive_items, dtype=np.int64)
         self.num_items = num_items
+        self._store = None
+        self._positive_items = np.asarray(positive_items, dtype=np.int64)
         rng = spawn(seed, "client-init", user_id)
-        self.user_embedding = rng.normal(scale=init_scale, size=embedding_dim)
-        self.regularizer = regularizer
+        self._user_embedding = rng.normal(scale=init_scale, size=embedding_dim)
+        self._regularizer = regularizer
         self._seed = seed
+
+    @classmethod
+    def from_store(cls, store, user_id: int) -> "BenignClient":
+        """A view client backed by one row of a ``ClientStateStore``.
+
+        No RNG draw happens here — the store already initialised the
+        embedding row bit-identically to the constructor's draw.
+        """
+        client = cls.__new__(cls)
+        client.user_id = user_id
+        client.num_items = store.num_items
+        client._store = store
+        client._positive_items = None
+        client._user_embedding = None
+        client._regularizer = None
+        client._seed = store._seed
+        return client
+
+    # ------------------------------------------------------------------
+    # State accessors (store rows or owned arrays, transparently)
+    # ------------------------------------------------------------------
+
+    @property
+    def user_embedding(self) -> np.ndarray:
+        """The private embedding — a store-row view when store-backed."""
+        if self._store is not None:
+            return self._store.user_embeddings[self.user_id]
+        return self._user_embedding
+
+    @user_embedding.setter
+    def user_embedding(self, value: np.ndarray) -> None:
+        if self._store is not None:
+            self._store.user_embeddings[self.user_id] = value
+        else:
+            self._user_embedding = value
+
+    @property
+    def positive_items(self) -> np.ndarray:
+        """The private interaction list — a CSR slice when store-backed."""
+        if self._store is not None:
+            return self._store.positives(self.user_id)
+        return self._positive_items
+
+    @property
+    def regularizer(self):
+        if self._store is not None:
+            return self._store.regularizer(self.user_id)
+        return self._regularizer
+
+    @regularizer.setter
+    def regularizer(self, value) -> None:
+        if self._store is not None:
+            self._store.set_regularizer(self.user_id, value)
+        else:
+            self._regularizer = value
 
     # ------------------------------------------------------------------
     # One round of participation
@@ -108,6 +183,11 @@ class BenignClient:
         """
         if train_cfg.client_lr_range is None:
             return train_cfg.effective_client_lr
+        if self._store is not None:
+            # The store draws every client's rate in one vectorised
+            # pass (cached); entry u is bit-identical to the scalar
+            # spawn below.
+            return float(self._store.client_lrs(train_cfg.client_lr_range)[self.user_id])
         low, high = train_cfg.client_lr_range
         if not 0 < low <= high:
             raise ValueError("client_lr_range must satisfy 0 < low <= high")
@@ -156,7 +236,9 @@ class BenignClient:
         item_grads = np.concatenate([pos_bundle.items, neg_bundle.items])
         # BPR may pair the same negative with several positives when the
         # catalogue is small; merge duplicate rows to keep uploads valid.
+        # The merge buffer inherits the gradient dtype so reduced-
+        # precision models upload at their own precision.
         unique_ids, inverse = np.unique(item_ids, return_inverse=True)
-        merged = np.zeros((len(unique_ids), item_grads.shape[1]))
+        merged = np.zeros((len(unique_ids), item_grads.shape[1]), dtype=item_grads.dtype)
         np.add.at(merged, inverse, item_grads)
         return unique_ids, merged, user_grad

@@ -35,7 +35,12 @@ class ClientUpdate:
 
     def __post_init__(self) -> None:
         self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
-        self.item_grads = np.asarray(self.item_grads, dtype=np.float64)
+        # Floating gradients upload at the model's own precision;
+        # anything else is promoted to float64.
+        grads = np.asarray(self.item_grads)
+        if not np.issubdtype(grads.dtype, np.floating):
+            grads = grads.astype(np.float64)
+        self.item_grads = grads
         if self.item_grads.ndim != 2 or len(self.item_ids) != len(self.item_grads):
             raise ValueError(
                 f"item_grads {self.item_grads.shape} does not align with "

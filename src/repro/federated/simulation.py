@@ -23,6 +23,14 @@ Both engines draw from the same per-client RNG streams and perform
 bit-identical arithmetic, so trajectories are identical for a given
 seed (asserted by the parity suite); the batch engine is simply an
 order of magnitude faster at production round sizes.
+
+All benign client state is held by one struct-of-arrays
+:class:`~repro.federated.state.ClientStateStore` (dense user-embedding
+matrix + CSR interactions), built in vectorised passes and exposed to
+per-object code through lazily materialised
+:class:`~repro.federated.client.BenignClient` views; evaluation
+streams over user blocks so peak memory stays O(block x items)
+regardless of the user count.
 """
 
 from __future__ import annotations
@@ -40,11 +48,13 @@ from repro.datasets.loaders import load_dataset
 from repro.defenses.registry import build_server_defense, client_regularizer_factory
 from repro.federated.audit import ServerAuditLog
 from repro.federated.batch_engine import BatchClientEngine
-from repro.federated.client import BenignClient
 from repro.federated.server import Server
+from repro.federated.state import ClientStateStore, ClientViewList
 from repro.metrics.ranking import (
-    exposure_ratio_at_k,
-    hit_ratio_at_k,
+    exposure_counts_at_k,
+    exposure_ratio_from_counts,
+    hit_counts_at_k,
+    hit_ratio_from_counts,
     sample_eval_negatives,
 )
 from repro.models.base import build_model
@@ -111,18 +121,19 @@ class FederatedSimulation:
         regularizer_factory = client_regularizer_factory(
             config.defense, self.dataset.num_items
         )
-        self.benign_clients = [
-            BenignClient(
-                user,
-                self.dataset.train_pos[user],
-                self.dataset.num_items,
-                config.model.embedding_dim,
-                seed=config.seed,
-                init_scale=config.model.init_scale,
-                regularizer=regularizer_factory() if regularizer_factory else None,
-            )
-            for user in range(self.dataset.num_users)
-        ]
+        # All benign client state lives in one struct-of-arrays store
+        # (embedding matrix + CSR interactions), initialised
+        # bit-identically to the object-per-user draws; the object API
+        # stays available through lazily materialised view clients.
+        self.state = ClientStateStore.build(
+            self.dataset.train_pos,
+            self.dataset.num_items,
+            config.model.embedding_dim,
+            seed=config.seed,
+            init_scale=config.model.init_scale,
+            regularizer_factory=regularizer_factory,
+        )
+        self.benign_clients = ClientViewList(self.state)
 
         num_malicious = num_malicious_for_ratio(
             self.dataset.num_users, attack_cfg.malicious_ratio
@@ -151,7 +162,6 @@ class FederatedSimulation:
         self._eval_negatives = sample_eval_negatives(
             self.dataset, config.train.eval_num_negatives, config.seed
         )
-        self._train_mask = self.dataset.train_mask()
         self._batch_engine = (
             BatchClientEngine(
                 self.model,
@@ -160,6 +170,7 @@ class FederatedSimulation:
                 self.malicious_clients,
                 config.train,
                 config.seed,
+                state=self.state,
             )
             if engine == "batch"
             else None
@@ -243,8 +254,14 @@ class FederatedSimulation:
         if record_item_history:
             item_history.append(self.model.snapshot_items())
 
-        exposure, hit_ratio = self.evaluate()
-        if not history or history[-1].round_idx != rounds:
+        if history and history[-1].round_idx == rounds:
+            # The last eval_every checkpoint already scored the final
+            # model state; reuse it instead of paying a second full
+            # evaluation pass (evaluation is deterministic in the
+            # model and eval negatives, so the record is identical).
+            exposure, hit_ratio = history[-1].exposure, history[-1].hit_ratio
+        else:
+            exposure, hit_ratio = self.evaluate()
             history.append(EvalRecord(rounds, exposure, hit_ratio))
         return SimulationResult(
             exposure=exposure,
@@ -261,13 +278,66 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
 
     def user_embedding_matrix(self) -> np.ndarray:
-        """Stack of all benign users' private embeddings (analysis only)."""
-        return np.stack([c.user_embedding for c in self.benign_clients])
+        """All benign users' private embeddings — a zero-copy store view.
+
+        Row ``u`` *is* user ``u``'s live embedding and keeps evolving
+        as training continues; ``.copy()`` the result to snapshot
+        (e.g. for before/after drift comparisons). The view is
+        read-only so stale callers cannot corrupt client state by
+        writing into what used to be a private stack copy.
+        """
+        view = self.state.user_embeddings.view()
+        view.flags.writeable = False
+        return view
+
+    #: Rough per-user evaluation footprint used to auto-size blocks:
+    #: one float64 score row, its masked copy, and the bool train mask.
+    _EVAL_BYTES_PER_CELL = 17
+    #: Auto-sized evaluation blocks target this peak footprint.
+    _EVAL_BLOCK_BYTES = 128 * 2**20
+
+    def _eval_block_users(self) -> int:
+        """Users scored per evaluation block (config override or auto)."""
+        configured = self.config.train.eval_chunk_users
+        if configured is not None:
+            if configured <= 0:
+                raise ValueError("eval_chunk_users must be positive")
+            return configured
+        per_user = max(self.dataset.num_items * self._EVAL_BYTES_PER_CELL, 1)
+        return max(1, min(self.dataset.num_users, self._EVAL_BLOCK_BYTES // per_user))
 
     def evaluate(self, k: int | None = None) -> tuple[float, float]:
-        """Compute (ER@K, HR@K) over benign users."""
+        """Compute (ER@K, HR@K) over benign users, streaming in blocks.
+
+        Users are scored in blocks of ``train.eval_chunk_users`` (or a
+        memory-bounded default): each block contributes integer
+        hit/eligibility counts that accumulate into the final ratios,
+        so no ``num_users x num_items`` array — scores *or* train mask
+        — is ever materialised, and the results are bit-identical to
+        the dense single-pass evaluation (scoring and ranking are
+        row-wise; the final divisions see the same integer counts).
+        """
         k = self.config.train.top_k if k is None else k
-        scores = self.model.score_matrix(self.user_embedding_matrix())
-        exposure = exposure_ratio_at_k(scores, self._train_mask, self.targets, k)
-        hit_ratio = hit_ratio_at_k(scores, self.dataset, self._eval_negatives, k)
-        return exposure, hit_ratio
+        test_items = self.dataset.test_items
+        er_hits = np.zeros(len(self.targets), dtype=np.int64)
+        er_eligible = np.zeros(len(self.targets), dtype=np.int64)
+        hr_hits = 0
+        hr_total = 0
+        for lo, hi, scores in self.model.score_blocks(
+            self.state.user_embeddings, self._eval_block_users()
+        ):
+            train_mask = self.state.train_mask_block(lo, hi)
+            hits, eligible = exposure_counts_at_k(
+                scores, train_mask, self.targets, k
+            )
+            er_hits += hits
+            er_eligible += eligible
+            hits, total = hit_counts_at_k(
+                scores, test_items[lo:hi], self._eval_negatives[lo:hi], k
+            )
+            hr_hits += hits
+            hr_total += total
+        return (
+            exposure_ratio_from_counts(er_hits, er_eligible),
+            hit_ratio_from_counts(hr_hits, hr_total),
+        )

@@ -1,0 +1,267 @@
+"""Struct-of-arrays backing store for all benign client state.
+
+The reference representation of the benign population is one Python
+:class:`~repro.federated.client.BenignClient` object per user: a
+private ``(dim,)`` embedding, a private interaction array, an optional
+defense regularizer and a handful of scalars.  At production user
+counts the *state layer* — not the round arithmetic — becomes the
+binding constraint: construction spawns one RNG and one small array
+per user in a Python loop, and every batched round re-stacks the
+per-object rows it needs.
+
+:class:`ClientStateStore` keeps the same state as flat arrays:
+
+* ``user_embeddings`` — one dense ``(num_users, dim)`` matrix holding
+  every private embedding, initialised bit-identically to the per-user
+  ``spawn(seed, "client-init", u)`` draws via
+  :func:`~repro.rng.spawn_normal_rows` (parity is asserted in the test
+  suite).  Row ``u`` *is* user ``u``'s embedding; the batch engine
+  gathers and scatters participant rows by fancy indexing, and
+  analysis code reads the whole matrix zero-copy.
+* ``train_indptr`` / ``train_indices`` — the users' positive-item
+  lists in CSR form: user ``u`` owns
+  ``train_indices[train_indptr[u]:train_indptr[u + 1]]``, a zero-copy
+  slice identical to the ragged ``dataset.train_pos[u]`` array.
+* per-client learning rates — the inconsistent-learning-rate scenario
+  draws every client's fixed rate in one vectorised
+  :func:`~repro.rng.spawn_first_uniform` pass (cached), bit-identical
+  to the scalar ``spawn(seed, "client-lr", u)`` draws.
+* regularizers — the paper's client-side defense keeps genuinely
+  per-user mutable state (each client runs its own popular-item
+  miner), so those objects stay per-user Python state, created
+  *lazily* on first access: an undefended store never allocates any,
+  and a defended one only pays for users that actually participate.
+
+The object API survives as a thin view layer:
+:meth:`~repro.federated.client.BenignClient.from_store` wraps a store
+row in a ``BenignClient`` whose attributes read and write the store
+arrays, and :class:`ClientViewList` materialises those views lazily so
+building a million-user simulation costs a few array ops, not a
+million object constructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import spawn_first_uniform, spawn_normal_rows
+
+__all__ = ["ClientStateStore", "ClientViewList"]
+
+
+class ClientStateStore:
+    """Flat-array state for the whole benign client population."""
+
+    def __init__(
+        self,
+        user_embeddings: np.ndarray,
+        train_indptr: np.ndarray,
+        train_indices: np.ndarray,
+        num_items: int,
+        *,
+        seed: int = 0,
+        regularizer_factory=None,
+    ):
+        if user_embeddings.ndim != 2:
+            raise ValueError("user_embeddings must be (num_users, dim)")
+        if len(train_indptr) != len(user_embeddings) + 1:
+            raise ValueError(
+                f"train_indptr has {len(train_indptr)} entries for "
+                f"{len(user_embeddings)} users"
+            )
+        self.user_embeddings = user_embeddings
+        self.train_indptr = train_indptr
+        self.train_indices = train_indices
+        self.num_items = num_items
+        self._seed = seed
+        self._regularizer_factory = regularizer_factory
+        self._regularizers: dict[int, object] = {}
+        self._client_lr_cache: tuple[tuple[float, float], np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        train_pos: list[np.ndarray],
+        num_items: int,
+        embedding_dim: int,
+        *,
+        seed: int = 0,
+        init_scale: float = 0.1,
+        regularizer_factory=None,
+    ) -> "ClientStateStore":
+        """Build the store for a dataset's ragged positive-item lists.
+
+        The embedding matrix reproduces, row for row, the draws the
+        object-per-user path makes (``spawn(seed, "client-init", u)``),
+        so a store-backed simulation is bit-identical to the reference
+        — it just derives all seeds, hashes all entropy pools and packs
+        all interactions in vectorised passes.
+        """
+        num_users = len(train_pos)
+        embeddings = spawn_normal_rows(
+            seed,
+            ("client-init",),
+            np.arange(num_users),
+            embedding_dim,
+            scale=init_scale,
+        )
+        lengths = np.fromiter(
+            (len(items) for items in train_pos), dtype=np.int64, count=num_users
+        )
+        indptr = np.zeros(num_users + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = (
+            np.ascontiguousarray(np.concatenate(train_pos), dtype=np.int64)
+            if num_users
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(
+            embeddings,
+            indptr,
+            indices,
+            num_items,
+            seed=seed,
+            regularizer_factory=regularizer_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and slicing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_users(self) -> int:
+        return len(self.user_embeddings)
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.user_embeddings.shape[1]
+
+    def positives(self, user_id: int) -> np.ndarray:
+        """User's positive items — a zero-copy CSR slice."""
+        return self.train_indices[
+            self.train_indptr[user_id] : self.train_indptr[user_id + 1]
+        ]
+
+    def positives_list(self, user_ids: np.ndarray) -> list[np.ndarray]:
+        """CSR slices (zero-copy views) for a batch of users."""
+        indptr = self.train_indptr
+        indices = self.train_indices
+        return [
+            indices[indptr[user_id] : indptr[user_id + 1]]
+            for user_id in user_ids
+        ]
+
+    def to_ragged(self) -> list[np.ndarray]:
+        """Per-user positive-item arrays (copies) — CSR round-trip."""
+        return [self.positives(user_id).copy() for user_id in range(self.num_users)]
+
+    def train_mask_block(self, lo: int, hi: int) -> np.ndarray:
+        """Boolean ``(hi - lo, num_items)`` training-interaction mask.
+
+        Equals ``dataset.train_mask()[lo:hi]`` without ever building
+        the dense ``(num_users, num_items)`` matrix — the piece that
+        lets evaluation stream over user blocks in bounded memory.
+        """
+        indptr = self.train_indptr
+        block = np.zeros((hi - lo, self.num_items), dtype=bool)
+        rows = np.repeat(np.arange(hi - lo), np.diff(indptr[lo : hi + 1]))
+        block[rows, self.train_indices[indptr[lo] : indptr[hi]]] = True
+        return block
+
+    # ------------------------------------------------------------------
+    # Per-client scalar state, vectorised
+    # ------------------------------------------------------------------
+
+    def client_lrs(self, lr_range: tuple[float, float]) -> np.ndarray:
+        """Every client's fixed local learning rate, drawn in one pass.
+
+        The inconsistent-learning-rate scenario (supplementary Table X)
+        gives client ``u`` the rate ``exp(uniform(log low, log high))``
+        from its private ``spawn(seed, "client-lr", u)`` stream; this
+        draws all of them through the vectorised PCG64 path and caches
+        the result (the draws are round-independent).  Bit-identical to
+        the scalar reference, asserted by the parity suite.
+        """
+        low, high = lr_range
+        if not 0 < low <= high:
+            raise ValueError("client_lr_range must satisfy 0 < low <= high")
+        if self._client_lr_cache is None or self._client_lr_cache[0] != (low, high):
+            draws = spawn_first_uniform(
+                self._seed,
+                ("client-lr",),
+                np.arange(self.num_users),
+                float(np.log(low)),
+                float(np.log(high)),
+            )
+            self._client_lr_cache = ((low, high), np.exp(draws))
+        return self._client_lr_cache[1]
+
+    # ------------------------------------------------------------------
+    # Defense regularizers (inherently per-user mutable state)
+    # ------------------------------------------------------------------
+
+    @property
+    def has_regularizers(self) -> bool:
+        """Whether any client may carry a defense regularizer."""
+        return self._regularizer_factory is not None or bool(self._regularizers)
+
+    def regularizer(self, user_id: int):
+        """The user's defense regularizer, created lazily (or ``None``).
+
+        Lazy creation is behaviour-preserving: a fresh regularizer only
+        accumulates state through ``observe`` calls, which happen when
+        the client participates — exactly when this accessor first
+        runs for the user.
+        """
+        try:
+            return self._regularizers[user_id]
+        except KeyError:
+            if self._regularizer_factory is None:
+                return None
+            regularizer = self._regularizer_factory()
+            self._regularizers[user_id] = regularizer
+            return regularizer
+
+    def set_regularizer(self, user_id: int, regularizer) -> None:
+        """Install (or clear) one user's regularizer explicitly."""
+        self._regularizers[user_id] = regularizer
+
+
+class ClientViewList:
+    """Lazy sequence of store-backed ``BenignClient`` views.
+
+    Indexing materialises (and caches) a view object on demand, so the
+    object API — the reference loop engine, attacks and tests index
+    ``sim.benign_clients[user_id]`` — keeps working while constructing
+    a simulation stays O(arrays) instead of O(users) Python objects.
+    """
+
+    def __init__(self, store: ClientStateStore):
+        self._store = store
+        self._views: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return self._store.num_users
+
+    def __getitem__(self, user_id: int):
+        if isinstance(user_id, slice):
+            return [self[i] for i in range(*user_id.indices(len(self)))]
+        if user_id < 0:
+            user_id += len(self)
+        if not 0 <= user_id < len(self):
+            raise IndexError("client index out of range")
+        try:
+            return self._views[user_id]
+        except KeyError:
+            from repro.federated.client import BenignClient
+
+            view = BenignClient.from_store(self._store, user_id)
+            self._views[user_id] = view
+            return view
+
+    def __iter__(self):
+        return (self[user_id] for user_id in range(len(self)))

@@ -48,7 +48,9 @@ class UpdateBatch:
 
     user_ids: np.ndarray  # (clients,) int64, upload order
     item_ids: np.ndarray  # (total_rows,) int64
-    item_grads: np.ndarray  # (total_rows, dim) float64
+    item_grads: np.ndarray  # (total_rows, dim) floating; carries the
+    #   model's own precision (float64 by default, float32 for
+    #   reduced-precision models) — kernels must not assume float64
     lengths: np.ndarray  # (clients,) rows per client
     param_stacks: list[np.ndarray] = field(default_factory=list)
     param_owners: np.ndarray = field(

@@ -14,7 +14,16 @@ from repro.datasets.base import InteractionDataset
 from repro.datasets.sampling import _accept_draw
 from repro.rng import spawn_batch
 
-__all__ = ["top_k_items", "exposure_ratio_at_k", "hit_ratio_at_k", "sample_eval_negatives"]
+__all__ = [
+    "top_k_items",
+    "exposure_counts_at_k",
+    "exposure_ratio_from_counts",
+    "exposure_ratio_at_k",
+    "hit_counts_at_k",
+    "hit_ratio_from_counts",
+    "hit_ratio_at_k",
+    "sample_eval_negatives",
+]
 
 
 def top_k_items(scores: np.ndarray, train_mask: np.ndarray, k: int) -> np.ndarray:
@@ -39,6 +48,44 @@ def top_k_items(scores: np.ndarray, train_mask: np.ndarray, k: int) -> np.ndarra
     return top
 
 
+def exposure_counts_at_k(
+    scores: np.ndarray,
+    train_mask: np.ndarray,
+    target_items: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-target ``(hits, eligible)`` counts over one block of users.
+
+    The streaming building block of ER@K: counts are integers, so
+    accumulating them over user blocks and dividing once is
+    bit-identical to evaluating the whole user matrix at once —
+    ``hit.mean()`` over booleans *is* the same integer division.
+    """
+    target_items = np.atleast_1d(np.asarray(target_items))
+    if len(target_items) == 0:
+        raise ValueError("no target items given")
+    tops = top_k_items(scores, train_mask, k)
+    hits = np.empty(len(target_items), dtype=np.int64)
+    eligible = np.empty(len(target_items), dtype=np.int64)
+    for row, target in enumerate(target_items):
+        eligible_users = ~train_mask[:, target]
+        eligible[row] = int(eligible_users.sum())
+        hits[row] = int((tops[eligible_users] == target).any(axis=1).sum())
+    return hits, eligible
+
+
+def exposure_ratio_from_counts(
+    hits: np.ndarray, eligible: np.ndarray
+) -> float:
+    """ER@K from accumulated per-target counts.
+
+    A target with no eligible users contributes 0.0, matching the
+    dense reference; the single place the convention lives.
+    """
+    ratios = np.where(eligible > 0, hits / np.maximum(eligible, 1), 0.0)
+    return float(np.mean(ratios))
+
+
 def exposure_ratio_at_k(
     scores: np.ndarray,
     train_mask: np.ndarray,
@@ -51,19 +98,9 @@ def exposure_ratio_at_k(
     interacted with ``v_j`` whose top-K list contains ``v_j``. Rows of
     ``scores`` should cover benign users only.
     """
-    target_items = np.atleast_1d(np.asarray(target_items))
-    if len(target_items) == 0:
-        raise ValueError("no target items given")
-    tops = top_k_items(scores, train_mask, k)
-    ratios = []
-    for target in target_items:
-        eligible = ~train_mask[:, target]
-        if not eligible.any():
-            ratios.append(0.0)
-            continue
-        hit = (tops[eligible] == target).any(axis=1)
-        ratios.append(float(hit.mean()))
-    return float(np.mean(ratios))
+    return exposure_ratio_from_counts(
+        *exposure_counts_at_k(scores, train_mask, target_items, k)
+    )
 
 
 def sample_eval_negatives(
@@ -120,6 +157,41 @@ def sample_eval_negatives(
     return negatives
 
 
+def hit_counts_at_k(
+    scores: np.ndarray,
+    test_items: np.ndarray,
+    eval_negatives: list[np.ndarray],
+    k: int,
+) -> tuple[int, int]:
+    """``(hits, evaluable users)`` counts over one block of users.
+
+    The streaming building block of HR@K: ``scores`` rows,
+    ``test_items`` and ``eval_negatives`` are aligned slices of the
+    same user block.  Ranks are computed per row, so block boundaries
+    cannot change them; accumulating the integer counts over blocks
+    and dividing once reproduces the whole-matrix mean exactly.
+    """
+    test_items = np.asarray(test_items, dtype=np.int64)
+    users = np.flatnonzero(
+        (test_items >= 0)
+        & np.array([len(negs) > 0 for negs in eval_negatives], dtype=bool)
+    )
+    if not len(users):
+        return 0, 0
+    lens = np.array([len(eval_negatives[u]) for u in users], dtype=np.int64)
+    width = int(lens.max())
+    padded = np.zeros((len(users), width), dtype=np.int64)
+    for row, user in enumerate(users):
+        padded[row, : lens[row]] = eval_negatives[user]
+    mask = np.arange(width)[None, :] < lens[:, None]
+    test_scores = scores[users, test_items[users]]
+    neg_scores = scores[users[:, None], padded]
+    greater = ((neg_scores > test_scores[:, None]) & mask).sum(axis=1)
+    equal = ((neg_scores == test_scores[:, None]) & mask).sum(axis=1)
+    ranks = greater + 0.5 * equal
+    return int((ranks < k).sum()), len(users)
+
+
 def hit_ratio_at_k(
     scores: np.ndarray,
     dataset: InteractionDataset,
@@ -133,29 +205,19 @@ def hit_ratio_at_k(
     Ties count half a loss each, so a degenerate constant-output model
     scores ~k/(negatives+1) instead of a spurious 100%.
 
-    Computed as one batched rank pass over all evaluable users: the
-    per-user negative lists (equal-length in the standard protocol,
-    padded and masked otherwise) gather into a ``(users, negatives)``
-    score matrix and the win/tie counts reduce along its rows — the
-    same integer counts, and therefore the same ranks and mean, as the
-    per-user reference loop.
+    Computed as one batched rank pass over all evaluable users
+    (:func:`hit_counts_at_k`): the per-user negative lists
+    (equal-length in the standard protocol, padded and masked
+    otherwise) gather into a ``(users, negatives)`` score matrix and
+    the win/tie counts reduce along its rows — the same integer
+    counts, and therefore the same ranks and mean, as the per-user
+    reference loop.
     """
-    test_items = dataset.test_items.astype(np.int64)
-    users = np.flatnonzero(
-        (test_items >= 0)
-        & np.array([len(negs) > 0 for negs in eval_negatives], dtype=bool)
+    return hit_ratio_from_counts(
+        *hit_counts_at_k(scores, dataset.test_items, eval_negatives, k)
     )
-    if not len(users):
-        return 0.0
-    lens = np.array([len(eval_negatives[u]) for u in users], dtype=np.int64)
-    width = int(lens.max())
-    padded = np.zeros((len(users), width), dtype=np.int64)
-    for row, user in enumerate(users):
-        padded[row, : lens[row]] = eval_negatives[user]
-    mask = np.arange(width)[None, :] < lens[:, None]
-    test_scores = scores[users, test_items[users]]
-    neg_scores = scores[users[:, None], padded]
-    greater = ((neg_scores > test_scores[:, None]) & mask).sum(axis=1)
-    equal = ((neg_scores == test_scores[:, None]) & mask).sum(axis=1)
-    ranks = greater + 0.5 * equal
-    return float(np.mean((ranks < k).astype(np.float64)))
+
+
+def hit_ratio_from_counts(hits: int, total: int) -> float:
+    """HR@K from accumulated counts; no evaluable users means 0.0."""
+    return hits / total if total else 0.0

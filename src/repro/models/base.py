@@ -48,7 +48,7 @@ def segment_sums(
     outer-axis summation makes each segment's result bit-identical to
     the reference regardless of what surrounds it.
     """
-    out = np.empty((len(lengths), dim))
+    out = np.empty((len(lengths), dim), dtype=rows.dtype)
     reduce_rows = np.add.reduce  # what ndarray.sum(axis=0) calls, sans wrapper
     start = 0
     for index, length in enumerate(lengths.tolist()):
@@ -130,6 +130,24 @@ class RecommenderModel(ABC):
     @abstractmethod
     def score_matrix(self, user_matrix: np.ndarray) -> np.ndarray:
         """Logits for every (user, item) pair: shape (U, num_items)."""
+
+    def score_blocks(self, user_matrix: np.ndarray, block_users: int):
+        """Yield ``(lo, hi, scores)`` score blocks over user-row ranges.
+
+        The streaming-evaluation hook: callers that only reduce over
+        scores (ranking metrics) iterate blocks of at most
+        ``block_users`` rows, keeping peak memory at
+        ``O(block x num_items)`` instead of ``O(U x num_items)``.
+        Scoring is row-wise in every model, so block boundaries do not
+        change any score; the default simply calls
+        :meth:`score_matrix` per slice and models with cheaper block
+        paths may override it.
+        """
+        if block_users <= 0:
+            raise ValueError("block_users must be positive")
+        for lo in range(0, len(user_matrix), block_users):
+            hi = min(lo + block_users, len(user_matrix))
+            yield lo, hi, self.score_matrix(user_matrix[lo:hi])
 
     # ------------------------------------------------------------------
     # Global parameter plumbing (item table + interaction parameters)

@@ -21,8 +21,15 @@ __all__ = [
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid.
+
+    Preserves floating input dtypes (reduced-precision logits produce
+    reduced-precision probabilities, keeping the whole gradient path —
+    and therefore client uploads — at the model's own precision);
+    anything else is computed in float64.
+    """
+    dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
@@ -49,7 +56,10 @@ def bce_loss_and_grad(
     # BCE(logit, y) = -y*log(sig) - (1-y)*log(1-sig)
     #              = logaddexp(0, logit) - y*logit   (stable form)
     loss = float(np.mean(np.logaddexp(0.0, logits) - labels * logits))
-    grad = (sigmoid(logits) - labels) / n
+    probs = sigmoid(logits)
+    # 0/1 labels cast exactly, keeping reduced-precision logit
+    # gradients at their own precision; float64 results unchanged.
+    grad = (probs - labels.astype(probs.dtype)) / n
     return loss, grad
 
 
@@ -66,8 +76,13 @@ def bce_grad_segmented(
     the identical IEEE operation.  Returns the flat gradient aligned
     with ``logits``.
     """
-    divisors = np.repeat(np.maximum(lengths, 1), lengths)
-    return (sigmoid(logits) - labels) / divisors
+    probs = sigmoid(logits)
+    # Float divisors and exactly-cast 0/1 labels keep reduced-precision
+    # logit gradients at their own precision (int or float64 arrays
+    # would promote float32 to float64); both conversions are exact, so
+    # float64 results are unchanged.
+    divisors = np.repeat(np.maximum(lengths, 1), lengths).astype(probs.dtype)
+    return (probs - labels.astype(probs.dtype)) / divisors
 
 
 def bpr_loss_and_grad(
@@ -101,7 +116,10 @@ def bpr_grad_segmented(
     float64 divisor is the identical IEEE operation.  Returns
     ``(d/d pos_logits, d/d neg_logits)`` aligned with the inputs.
     """
-    divisors = np.repeat(np.maximum(lengths, 1), lengths)
     diff = pos_logits - neg_logits
-    ddiff = (sigmoid(diff) - 1.0) / divisors
+    probs = sigmoid(diff)
+    # Float divisors, for the same dtype-preservation reason as in
+    # :func:`bce_grad_segmented`; exact conversion, float64 unchanged.
+    divisors = np.repeat(np.maximum(lengths, 1), lengths).astype(probs.dtype)
+    ddiff = (probs - 1.0) / divisors
     return ddiff, -ddiff

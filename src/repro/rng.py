@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "derive_seed", "derive_seed_batch", "spawn_batch"]
+__all__ = [
+    "make_rng",
+    "spawn",
+    "derive_seed",
+    "derive_seed_batch",
+    "spawn_batch",
+    "spawn_first_uniform",
+    "spawn_normal_rows",
+]
 
 #: Large prime used to mix stream labels into seeds.
 _MIX = 0x9E3779B97F4A7C15
@@ -176,3 +184,132 @@ def spawn_batch(
     gen = np.random.Generator
     wrap = _PrecomputedSeedSequence
     return [gen(pcg(wrap(state))) for state in states]
+
+
+def spawn_normal_rows(
+    seed: int,
+    prefix: tuple[int | str, ...],
+    ids: np.ndarray,
+    columns: int,
+    scale: float = 1.0,
+    suffix: tuple[int | str, ...] = (),
+) -> np.ndarray:
+    """Stack of per-stream normal draws: one ``(columns,)`` row per id.
+
+    Row ``k`` equals ``spawn(seed, *prefix, ids[k], *suffix).normal(
+    scale=scale, size=columns)`` bit for bit: the seed hashing and
+    ``SeedSequence`` entropy pools are fully vectorised, each stream's
+    ziggurat draws fill its preallocated row directly, and the scale is
+    applied as one whole-matrix multiply (``scale * z`` is the exact
+    per-element arithmetic of ``Generator.normal`` with ``loc=0``).
+    The per-user cost is one ``PCG64`` construction plus one
+    ``standard_normal`` fill — several times cheaper than the
+    ``spawn`` + ``normal`` pair, which is what makes struct-of-arrays
+    client-state construction fast at production user counts.
+    """
+    states = _seed_sequence_states(derive_seed_batch(seed, prefix, ids, suffix))
+    out = np.empty((len(ids), columns))
+    pcg = np.random.PCG64
+    gen = np.random.Generator
+    shim = _PrecomputedSeedSequence(None)
+    f64 = np.float64
+    for row, state in zip(out, states):
+        shim._state = state
+        gen(pcg(shim)).standard_normal(None, f64, row)
+    if scale != 1.0:
+        out *= scale
+    return out
+
+
+# ----------------------------------------------------------------------
+# Vectorised PCG64 (XSL-RR 128/64) for single-draw streams
+# ----------------------------------------------------------------------
+
+#: The 128-bit LCG multiplier of PCG64, split into 64-bit halves.
+_PCG_MULT_HI = np.uint64(2549297995355413924)
+_PCG_MULT_LO = np.uint64(4865540595714422341)
+_U64_LOW32 = np.uint64(0xFFFFFFFF)
+_U64_32 = np.uint64(32)
+
+
+def _mul64(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full 64x64 -> 128-bit product as ``(high, low)`` uint64 arrays."""
+    a_lo = a & _U64_LOW32
+    a_hi = a >> _U64_32
+    b_lo = b & _U64_LOW32
+    b_hi = b >> _U64_32
+    with np.errstate(over="ignore"):
+        ll = a_lo * b_lo
+        lh = a_lo * b_hi
+        hl = a_hi * b_lo
+        hh = a_hi * b_hi
+        mid = (ll >> _U64_32) + (lh & _U64_LOW32) + (hl & _U64_LOW32)
+        low = (mid << _U64_32) | (ll & _U64_LOW32)
+        high = hh + (lh >> _U64_32) + (hl >> _U64_32) + (mid >> _U64_32)
+    return high, low
+
+
+def _pcg64_step(
+    hi: np.ndarray, lo: np.ndarray, inc_hi: np.ndarray, inc_lo: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One 128-bit LCG step: ``state = state * MULT + inc (mod 2**128)``."""
+    with np.errstate(over="ignore"):
+        prod_hi, prod_lo = _mul64(lo, _PCG_MULT_LO)
+        prod_hi = prod_hi + lo * _PCG_MULT_HI + hi * _PCG_MULT_LO
+        new_lo = prod_lo + inc_lo
+        carry = (new_lo < prod_lo).astype(np.uint64)
+        new_hi = prod_hi + inc_hi + carry
+    return new_hi, new_lo
+
+
+def _pcg64_first_raw(words: np.ndarray) -> np.ndarray:
+    """First ``next_uint64`` output of ``PCG64`` seeded from state words.
+
+    ``words`` is the ``(count, 4)`` array of ``SeedSequence`` words that
+    :func:`_seed_sequence_states` produces (the exact input NumPy's
+    ``PCG64(seed)`` consumes: seed high/low then increment high/low).
+    Replicates ``pcg64_srandom`` plus one generate step of the XSL-RR
+    output function, vectorised over all streams; exactness against
+    ``PCG64.random_raw`` is asserted in the test suite.
+    """
+    s_hi, s_lo = words[:, 0].copy(), words[:, 1].copy()
+    i_hi, i_lo = words[:, 2], words[:, 3]
+    one = np.uint64(1)
+    with np.errstate(over="ignore"):
+        inc_hi = (i_hi << one) | (i_lo >> np.uint64(63))
+        inc_lo = (i_lo << one) | one
+        # srandom: state = 0; step (-> inc); state += seed; step.
+        acc_lo = inc_lo + s_lo
+        carry = (acc_lo < inc_lo).astype(np.uint64)
+        acc_hi = inc_hi + s_hi + carry
+        hi, lo = _pcg64_step(acc_hi, acc_lo, inc_hi, inc_lo)
+        # next64: step again, then output XSL-RR: rotr64(hi ^ lo, hi >> 58).
+        hi, lo = _pcg64_step(hi, lo, inc_hi, inc_lo)
+        value = hi ^ lo
+        rot = hi >> np.uint64(58)
+        out = (value >> rot) | (value << ((np.uint64(64) - rot) & np.uint64(63)))
+    return out
+
+
+def spawn_first_uniform(
+    seed: int,
+    prefix: tuple[int | str, ...],
+    ids: np.ndarray,
+    low: float = 0.0,
+    high: float = 1.0,
+    suffix: tuple[int | str, ...] = (),
+) -> np.ndarray:
+    """Vectorised first ``uniform(low, high)`` draw of every stream.
+
+    Entry ``k`` equals ``spawn(seed, *prefix, ids[k], *suffix).uniform(
+    low, high)`` bit for bit: ``Generator.uniform`` maps one raw PCG64
+    word to ``low + (high - low) * ((raw >> 11) * 2**-53)``, and the raw
+    word itself comes from the vectorised PCG64 above — no per-stream
+    ``Generator`` objects at all, which is what makes per-client scalar
+    draws (e.g. the inconsistent-learning-rate scenario) O(vector ops)
+    instead of O(users) Python calls.
+    """
+    words = _seed_sequence_states(derive_seed_batch(seed, prefix, ids, suffix))
+    raw = _pcg64_first_raw(words)
+    doubles = (raw >> np.uint64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+    return low + (high - low) * doubles
