@@ -1,0 +1,168 @@
+"""Sweep orchestrator throughput: process-pool cells vs sequential.
+
+Not a paper table — this benchmarks the *experiment orchestration
+layer* (``repro.experiments.sweep``) that every ``table*`` generator
+now routes through:
+
+* **Cold parallel speedup.** A reduced Table IV grid (MF-FRS on the
+  ML-100K preset, 3 attacks x 4 defenses) executed by a
+  :class:`~repro.experiments.sweep.SweepRunner` at 4 workers versus
+  the sequential reference path.  Acceptance on a >= 4-core machine:
+  ``>= 2x`` wall-clock speedup; on smaller machines the speedup is
+  recorded but only sanity-bounded (a process pool cannot beat the
+  physics of one core).
+* **Bit-identical results.** The pooled run must return exactly the
+  sequential results — per-cell determinism means execution order and
+  placement cannot leak into any table cell.
+* **Cache-warm re-run.** The same grid executed again against a
+  populated content-addressed cache must be served almost entirely
+  from cache (``>= 90%`` hit ratio) and take a small fraction of the
+  cold sequential time; the warm wall-clock is recorded.
+
+``--smoke`` (the CI job) shrinks the grid, runs it twice at
+``--workers 2``, and asserts the second run is served >= 90% from the
+cache — guarding the cache keys against silent invalidation drift —
+while skipping the speedup floor (CI runners have too few cores to
+promise one).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py          # full
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+from _harness import emit_bench_json
+from repro.experiments.presets import dataset_config, experiment
+from repro.experiments.sweep import CellSpec, SweepRunner
+
+#: Reduced Table IV axes: every attack the defenses are measured
+#: against in the paper's Table IV, on MF-FRS only.
+FULL_ATTACKS = ("a_hum", "pieck_ipe", "pieck_uea")
+FULL_DEFENSES = ("none", "norm_bound", "krum", "regularization")
+FULL_ROUNDS = 120
+FULL_WORKERS = 4
+
+SMOKE_ATTACKS = ("pieck_ipe", "pieck_uea")
+SMOKE_DEFENSES = ("none", "norm_bound", "regularization")
+SMOKE_ROUNDS = 20
+SMOKE_WORKERS = 2
+
+SPEEDUP_FLOOR = 2.0  # at FULL_WORKERS, when the machine has the cores
+CACHE_HIT_FLOOR = 0.9
+
+
+def _grid(attacks: tuple[str, ...], defenses: tuple[str, ...], rounds: int):
+    """A reduced Table IV grid as cell specs + its shared dataset."""
+    dataset = "ml-100k"
+    specs = [
+        CellSpec(
+            config=experiment(
+                dataset, "mf", attack=attack, defense=defense, seed=0,
+                rounds=rounds,
+            ),
+            dataset_key=dataset,
+        )
+        for defense in defenses
+        for attack in attacks
+    ]
+    return specs, {dataset: dataset_config(dataset, seed=0)}
+
+
+def _timed_run(runner: SweepRunner, specs, datasets) -> tuple[float, list]:
+    started = time.perf_counter()
+    results = runner.run(specs, datasets)
+    return time.perf_counter() - started, results
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    attacks = SMOKE_ATTACKS if smoke else FULL_ATTACKS
+    defenses = SMOKE_DEFENSES if smoke else FULL_DEFENSES
+    rounds = SMOKE_ROUNDS if smoke else FULL_ROUNDS
+    workers = SMOKE_WORKERS if smoke else FULL_WORKERS
+    cores = os.cpu_count() or 1
+
+    specs, datasets = _grid(attacks, defenses, rounds)
+    print(
+        f"sweep throughput ({'smoke' if smoke else 'full'}): "
+        f"{len(specs)} cells, {rounds} rounds, {workers} workers, "
+        f"{cores} cores"
+    )
+
+    # -- cold: sequential reference vs process pool --------------------
+    seq_seconds, seq_results = _timed_run(SweepRunner(workers=0), specs, datasets)
+    par_seconds, par_results = _timed_run(
+        SweepRunner(workers=workers), specs, datasets
+    )
+    assert par_results == seq_results, (
+        "pooled sweep results differ from sequential — ordering leaked "
+        "into cell results"
+    )
+    speedup = seq_seconds / max(par_seconds, 1e-9)
+    print(
+        f"  sequential {seq_seconds:.2f}s | {workers} workers "
+        f"{par_seconds:.2f}s | speedup {speedup:.2f}x"
+    )
+
+    # -- warm: content-addressed cache ---------------------------------
+    with tempfile.TemporaryDirectory(prefix="sweep-cache-") as cache_dir:
+        cached = SweepRunner(workers=workers, cache_dir=cache_dir)
+        fill_seconds, fill_results = _timed_run(cached, specs, datasets)
+        warm_seconds, warm_results = _timed_run(cached, specs, datasets)
+        warm_stats = cached.last_stats
+    assert warm_results == fill_results == seq_results, (
+        "cache round-trip changed cell results"
+    )
+    print(
+        f"  cache fill {fill_seconds:.2f}s | warm re-run {warm_seconds:.2f}s "
+        f"({warm_stats.cache_hits}/{warm_stats.total} cells from cache)"
+    )
+
+    emit_bench_json(
+        "sweep_throughput",
+        {
+            "mode": "smoke" if smoke else "full",
+            "cells": len(specs),
+            "rounds": rounds,
+            "workers": workers,
+            "cpu_cores": cores,
+            "sequential_s": round(seq_seconds, 3),
+            "parallel_s": round(par_seconds, 3),
+            "speedup": round(speedup, 3),
+            "cache_fill_s": round(fill_seconds, 3),
+            "cache_warm_s": round(warm_seconds, 3),
+            "cache_hit_ratio": round(warm_stats.hit_ratio, 3),
+            "speedup_floor_enforced": (not smoke) and cores >= FULL_WORKERS,
+        },
+    )
+
+    # -- acceptance ----------------------------------------------------
+    assert warm_stats.hit_ratio >= CACHE_HIT_FLOOR, (
+        f"warm re-run served only {100 * warm_stats.hit_ratio:.0f}% from "
+        f"cache (floor {100 * CACHE_HIT_FLOOR:.0f}%) — cache keys are "
+        "unstable across runs"
+    )
+    if not smoke:
+        if cores >= FULL_WORKERS:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"sweep speedup {speedup:.2f}x at {workers} workers on "
+                f"{cores} cores is below the {SPEEDUP_FLOOR}x floor"
+            )
+        else:
+            print(
+                f"  (only {cores} cores: {SPEEDUP_FLOOR}x floor not "
+                "enforced, recorded only)"
+            )
+    print("sweep throughput: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

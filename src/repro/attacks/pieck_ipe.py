@@ -105,17 +105,23 @@ class PieckIPE(MaliciousClient):
         config: AttackConfig,
         num_items: int,
         *,
-        metric: str = "pcos",
-        use_weights: bool = True,
-        use_partition: bool = True,
+        metric: str | None = None,
+        use_weights: bool | None = None,
+        use_partition: bool | None = None,
     ):
         super().__init__(user_id, targets, config)
         self.miner = PopularItemMiner(
             num_items, config.mining_rounds, config.num_popular
         )
-        self.metric = metric
-        self.use_weights = use_weights
-        self.use_partition = use_partition
+        # Keyword overrides win; otherwise the Table VI ablation
+        # toggles come from the attack config itself.
+        self.metric = config.ipe_metric if metric is None else metric
+        self.use_weights = (
+            config.ipe_use_weights if use_weights is None else use_weights
+        )
+        self.use_partition = (
+            config.ipe_use_partition if use_partition is None else use_partition
+        )
 
     def participate(
         self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int

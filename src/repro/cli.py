@@ -11,6 +11,13 @@ Commands
     Regenerate one of the paper's tables or figures by id (e.g.
     ``table 3``, ``figure 6a``) at the scaled presets.
 
+``sweep``
+    Regenerate one or more tables through the parallel sweep
+    orchestrator: cells run on a process pool (``--workers``) and
+    completed cells are recalled from a content-addressed on-disk
+    cache (``--cache-dir``), so re-runs skip finished work and
+    interrupted sweeps resume.
+
 ``audit``
     Run one attacked experiment with the server audit log enabled and
     print the Eq. 11 prediction vs the measured poison share for every
@@ -23,6 +30,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -73,6 +81,13 @@ _FIGURES: dict[str, Callable] = {
 }
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +108,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("id", choices=sorted(_TABLES, key=lambda x: int(x)))
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="regenerate tables on the parallel sweep orchestrator",
+    )
+    # No argparse choices= here: nargs="*" + choices rejects the empty
+    # default on Python <= 3.11 (bpo-27227); ids are validated in
+    # _command_sweep instead.
+    sweep.add_argument(
+        "ids",
+        nargs="*",
+        metavar="id",
+        help=f"table ids to regenerate (default: all of "
+        f"{', '.join(sorted(_TABLES, key=lambda x: int(x)))})",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 0/1 = sequential)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="content-addressed result cache (enables skip/resume)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", choices=sorted(_FIGURES))
@@ -193,6 +236,39 @@ def _command_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import SweepRunner
+
+    unknown = [table_id for table_id in args.ids if table_id not in _TABLES]
+    if unknown:
+        print(
+            f"unknown table id(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(_TABLES, key=lambda x: int(x)))})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    ids = list(args.ids) or sorted(_TABLES, key=lambda x: int(x))
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    runner = SweepRunner(workers=workers, cache_dir=args.cache_dir)
+    mode = f"{workers} workers" if workers >= 2 else "sequential"
+    cache = args.cache_dir if args.cache_dir else "disabled"
+    print(
+        f"sweep: tables {', '.join(ids)} ({mode}, cache: {cache})\n"
+    )
+    for table_id in ids:
+        print(_TABLES[table_id](runner=runner))
+        print()
+    stats = runner.total_stats
+    line = (
+        f"sweep finished: {stats.total} cells — "
+        f"{stats.cache_hits} from cache, {stats.executed} executed"
+    )
+    if args.cache_dir:
+        line += f" (cache hit ratio {100 * stats.hit_ratio:.0f}%)"
+    print(line)
+    return 0
+
+
 def _command_list() -> int:
     print("datasets :", ", ".join(sorted(EXPERIMENT_SCALES)))
     print("attacks  :", ", ".join(ATTACK_NAMES))
@@ -210,6 +286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "table":
         print(_TABLES[args.id]())
         return 0
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "figure":
         table = _FIGURES[args.id]()
         print(table)

@@ -129,6 +129,14 @@ class AttackConfig:
     inner_lr: float = 1.0
     #: Weight-decay strength lambda in Eq. 8 (PIECK-IPE only).
     ipe_lambda: float = 0.5
+    #: L_IPE ablation toggles (Table VI), config-driven so ablation
+    #: cells are fully determined by their :class:`ExperimentConfig`
+    #: (and hence content-addressable by the sweep cache): the
+    #: alignment metric (``"pcos"`` or ``"pkl"``), the inverse-rank
+    #: weights kappa, and the P+/P- sign partition of Eq. 8.
+    ipe_metric: str = "pcos"
+    ipe_use_weights: bool = True
+    ipe_use_partition: bool = True
     #: Popular-item batch size per inner UEA step (Section VI-F notes a
     #: default batch size of 5 and round size of 3).
     uea_batch_size: int = 5

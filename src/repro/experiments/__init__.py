@@ -24,8 +24,9 @@ from repro.experiments.figures import (
 )
 from repro.experiments.reporting import TableResult, format_table
 from repro.experiments.plotting import bar_chart, line_plot, scatter_plot
-from repro.experiments.runner import Cell, run_cell
+from repro.experiments.runner import Cell, run_cell, run_cells
 from repro.experiments.stability import SeedSweep, sweep_seeds
+from repro.experiments.sweep import CellSpec, SweepRunner, SweepStats
 from repro.experiments.tables import (
     table2_pkl_ucr,
     table3_attacks,
@@ -67,6 +68,10 @@ __all__ = [
     "experiment",
     "Cell",
     "run_cell",
+    "run_cells",
+    "CellSpec",
+    "SweepRunner",
+    "SweepStats",
     "TableResult",
     "format_table",
 ]

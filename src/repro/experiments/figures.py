@@ -11,9 +11,9 @@ from repro.analysis.cost import measure_round_cost
 from repro.analysis.delta_norm import run_delta_norm_study
 from repro.analysis.popularity import longtail_summary
 from repro.datasets.loaders import load_dataset
-from repro.experiments.presets import attack_config, experiment
+from repro.experiments.presets import attack_config, dataset_config, experiment
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import run_cell
+from repro.experiments.sweep import CellSpec, SweepRunner, cells_from_values
 from repro.federated.simulation import FederatedSimulation
 
 __all__ = [
@@ -82,38 +82,52 @@ def fig5_ratio_and_n(
     ratios: tuple[float, ...] = (0.01, 0.05, 0.10, 0.15),
     popular_sizes: tuple[int, ...] = (5, 10, 50),
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Fig. 5: effect of malicious ratio p and popular set size N."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Fig. 5: attack/defense vs malicious ratio and N (ER@10 / HR@10, %)",
         ["Sweep", "Value", "IPE nodef", "UEA nodef", "IPE ours", "UEA ours"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
 
-    def row_cells(attack_cfg_factory) -> list[str]:
-        cells = []
-        for attack in ("pieck_ipe", "pieck_uea"):
-            config = experiment(
-                dataset, model_kind, attack=attack_cfg_factory(attack), seed=seed
-            )
-            cells.append(str(run_cell(config, dataset=shared)))
-        for attack in ("pieck_ipe", "pieck_uea"):
-            config = experiment(
-                dataset,
-                model_kind,
-                attack=attack_cfg_factory(attack),
-                defense="regularization",
-                seed=seed,
-            )
-            cells.append(str(run_cell(config, dataset=shared)))
-        return cells
+    def row_specs(attack_cfg_factory) -> list[CellSpec]:
+        specs = []
+        for defense in ("none", "regularization"):
+            for attack in ("pieck_ipe", "pieck_uea"):
+                specs.append(
+                    CellSpec(
+                        config=experiment(
+                            dataset,
+                            model_kind,
+                            attack=attack_cfg_factory(attack),
+                            defense=defense,
+                            seed=seed,
+                        ),
+                        dataset_key=dataset,
+                    )
+                )
+        return specs
 
+    rows: list[tuple[str, str]] = []
+    specs: list[CellSpec] = []
     for ratio in ratios:
-        cells = row_cells(lambda a, r=ratio: attack_config(a, malicious_ratio=r))
-        table.add_row("ratio", f"{100 * ratio:.0f}%", *cells)
+        rows.append(("ratio", f"{100 * ratio:.0f}%"))
+        specs.extend(
+            row_specs(lambda a, r=ratio: attack_config(a, malicious_ratio=r))
+        )
     for n in popular_sizes:
-        cells = row_cells(lambda a, n=n: attack_config(a, num_popular=n))
-        table.add_row("N", str(n), *cells)
+        rows.append(("N", str(n)))
+        specs.extend(row_specs(lambda a, n=n: attack_config(a, num_popular=n)))
+
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for row, (sweep_label, value_label) in enumerate(rows):
+        chunk = values[4 * row : 4 * (row + 1)]
+        table.add_row(
+            sweep_label,
+            value_label,
+            *[str(cells_from_values(v)[0]) for v in chunk],
+        )
     return table
 
 
@@ -189,6 +203,7 @@ def fig7_sample_ratio(
     model_kind: str = "mf",
     ratios: tuple[int, ...] = (1, 2, 4, 8, 14, 20),
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Fig. 7 (supplementary): HR@10 vs sampling ratio q.
 
@@ -200,13 +215,20 @@ def fig7_sample_ratio(
     instead of declining (recorded as a known divergence in
     EXPERIMENTS.md).
     """
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Fig. 7: HR@10 vs negative sampling ratio q",
         ["q", "HR@10 (%)"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
-    for q in ratios:
-        config = experiment(dataset, model_kind, seed=seed, negative_ratio=q)
-        cell = run_cell(config, dataset=shared)
+    specs = [
+        CellSpec(
+            config=experiment(dataset, model_kind, seed=seed, negative_ratio=q),
+            dataset_key=dataset,
+        )
+        for q in ratios
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for q, result in zip(ratios, values):
+        cell = cells_from_values(result)[0]
         table.add_row(str(q), f"{cell.hr:.2f}")
     return table

@@ -23,7 +23,7 @@ from repro.config import ExperimentConfig
 from repro.datasets.base import InteractionDataset
 from repro.federated.simulation import FederatedSimulation, SimulationResult
 
-__all__ = ["Cell", "run_cell"]
+__all__ = ["Cell", "run_cell", "run_cells"]
 
 
 @dataclass(frozen=True)
@@ -40,24 +40,59 @@ class Cell:
         return f"{self.er:6.2f} / {self.hr:5.2f}"
 
 
+def run_cells(
+    config: ExperimentConfig,
+    *,
+    dataset: InteractionDataset | None = None,
+    ks: tuple[int, ...] | None = None,
+    engine: str = "batch",
+) -> tuple[Cell, ...]:
+    """Train one experiment once, evaluate every cutoff in ``ks``.
+
+    Returns one :class:`Cell` per cutoff, in ``ks`` order (``None``
+    means the config's ``train.top_k``).  Training runs exactly once:
+    cutoffs equal to ``train.top_k`` reuse the final training
+    evaluation, other cutoffs re-score the trained model — evaluation
+    is deterministic in the model state, so each cell is bit-identical
+    to a dedicated ``run_cell(config, k=k)`` run (Table V no longer
+    retrains per K).
+    """
+    ks = (config.train.top_k,) if ks is None else tuple(ks)
+    if not ks:
+        raise ValueError("ks must contain at least one cutoff")
+    sim = FederatedSimulation(config, dataset=dataset, engine=engine)
+    result: SimulationResult = sim.run()
+    cells: list[Cell] = []
+    for k in ks:
+        if k == config.train.top_k:
+            er, hr = result.exposure, result.hit_ratio
+        else:
+            er, hr = sim.evaluate(k=k)
+        cells.append(Cell(er=100.0 * er, hr=100.0 * hr))
+    return tuple(cells)
+
+
 def run_cell(
     config: ExperimentConfig,
     *,
     dataset: InteractionDataset | None = None,
     k: int | None = None,
+    ks: tuple[int, ...] | None = None,
     engine: str = "batch",
-) -> Cell:
-    """Run one experiment and return its ER/HR cell (percent).
+) -> Cell | tuple[Cell, ...]:
+    """Run one experiment and return its ER/HR cell(s) (percent).
 
     ``dataset`` lets callers share a pre-generated dataset across the
     cells of a table (the paper's tables vary attack/defense, not the
-    data). ``k`` overrides the evaluation cutoff (Table V). ``engine``
-    selects the execution engine (``"batch"`` default, ``"loop"`` for
-    the reference implementation).
+    data). ``k`` overrides the evaluation cutoff (Table V); ``ks``
+    evaluates a whole tuple of cutoffs from one training run and
+    returns a matching tuple of cells. ``engine`` selects the
+    execution engine (``"batch"`` default, ``"loop"`` for the
+    reference implementation).
     """
-    sim = FederatedSimulation(config, dataset=dataset, engine=engine)
-    result: SimulationResult = sim.run()
-    if k is not None and k != config.train.top_k:
-        er, hr = sim.evaluate(k=k)
-        return Cell(er=100.0 * er, hr=100.0 * hr)
-    return Cell(er=100.0 * result.exposure, hr=100.0 * result.hit_ratio)
+    if ks is not None:
+        if k is not None:
+            raise ValueError("pass either k or ks, not both")
+        return run_cells(config, dataset=dataset, ks=ks, engine=engine)
+    ks_single = (config.train.top_k,) if k is None else (k,)
+    return run_cells(config, dataset=dataset, ks=ks_single, engine=engine)[0]

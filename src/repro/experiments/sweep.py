@@ -1,0 +1,410 @@
+"""Parallel sweep orchestrator: process-pool cell execution with caching.
+
+The paper's evaluation is a grid of dozens of *independent* cells
+(attacks x models x datasets, defenses x models x attacks, ...).  With
+the intra-round engine fully vectorised, wall-clock for regenerating
+the tables is dominated by the outer loop over cells — which this
+module parallelises one layer up:
+
+* table/figure generators declare their cells as data — a
+  :class:`CellSpec` holding one :class:`~repro.config.ExperimentConfig`,
+  the key of a shared dataset, the evaluation cutoffs and a cell
+  *kind*;
+* a :class:`SweepRunner` executes the declared cells either inline
+  (``workers <= 1``, the sequential reference path) or on a
+  ``ProcessPoolExecutor``: each shared dataset is generated exactly
+  once in the parent and shipped to every worker as one pickle-once
+  payload through the pool initializer, so no worker ever re-generates
+  a dataset;
+* a content-addressed on-disk cache (``cache_dir``) keyed by a stable
+  hash of the experiment config, the dataset *content* fingerprint,
+  the evaluation cutoffs and a code-version tag lets re-runs skip
+  completed cells and interrupted sweeps resume — cache entries are
+  written through :mod:`repro.persistence` as each cell finishes.
+
+Per-cell determinism already holds (both engines are bit-identical and
+seeded), so parallel execution order cannot leak into results: a cell's
+value depends only on its spec and its dataset, never on which worker
+ran it or when.  The parity suite in ``tests/test_sweep.py`` asserts
+byte-identical cells between the pooled and sequential paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.config import DatasetConfig, ExperimentConfig
+from repro.datasets.base import InteractionDataset
+from repro.datasets.loaders import load_dataset
+from repro.experiments.runner import Cell, run_cells
+from repro.federated.simulation import FederatedSimulation
+from repro.metrics.divergence import pairwise_kl, user_coverage_ratio
+from repro.persistence import load_sweep_entry, save_sweep_entry
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellSpec",
+    "SweepStats",
+    "SweepRunner",
+    "cells_from_values",
+    "cell_cache_key",
+    "dataset_fingerprint",
+    "execute_cell",
+]
+
+#: Code-relevant version tag baked into every cache key.  Bump whenever
+#: a change alters what any cell computes (engine semantics, evaluation
+#: maths, cell-kind payload meaning) so stale caches self-invalidate.
+CACHE_VERSION = "sweep-v1"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell, declared as data.
+
+    ``dataset_key`` names an entry of the dataset mapping passed to
+    :meth:`SweepRunner.run` (the paper's tables share one dataset
+    across a whole table).  ``ks`` lists the evaluation cutoffs; one
+    result pair is produced per cutoff (``None`` means the config's
+    ``train.top_k``).  ``kind`` selects the executor: ``"er_hr"`` runs
+    the federated simulation and reports ER@K / HR@K percentages,
+    ``"pkl_ucr"`` trains a clean FRS and reports the PKL / UCR
+    closeness metrics of Table II for each popular-set size in
+    ``payload``.
+    """
+
+    config: ExperimentConfig
+    dataset_key: str = "default"
+    ks: tuple[int, ...] | None = None
+    kind: str = "er_hr"
+    #: Kind-specific extra parameters (hashed into the cache key).
+    payload: tuple = ()
+    engine: str = "batch"
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution accounting of one (or several accumulated) sweep runs."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of cells served from the cache (0.0 on empty runs)."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def merged(self, other: "SweepStats") -> "SweepStats":
+        return SweepStats(
+            total=self.total + other.total,
+            cache_hits=self.cache_hits + other.cache_hits,
+            executed=self.executed + other.executed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Cell executors (must stay top-level: workers import them by name)
+# ----------------------------------------------------------------------
+
+def _run_er_hr(spec: CellSpec, dataset: InteractionDataset) -> list[list[float]]:
+    """Train one simulation, evaluate every requested cutoff.
+
+    Returns ``[[er_percent, hr_percent], ...]`` — one pair per K, in
+    ``spec.ks`` order — exactly the numbers :class:`Cell` formats.
+    """
+    cells = run_cells(
+        spec.config, dataset=dataset, ks=spec.ks, engine=spec.engine
+    )
+    return [[cell.er, cell.hr] for cell in cells]
+
+
+def _run_pkl_ucr(spec: CellSpec, dataset: InteractionDataset) -> dict[str, list[float]]:
+    """Table II cell: train a clean FRS, measure PKL / UCR per N.
+
+    ``spec.payload`` is the tuple of popular-set sizes N.  The covered
+    user set is computed with the vectorised CSR membership test
+    (:meth:`~repro.datasets.base.InteractionDataset.covered_users`)
+    instead of a per-user Python loop.
+    """
+    sim = FederatedSimulation(spec.config, dataset=dataset, engine=spec.engine)
+    sim.run()
+    ranking = dataset.popularity_ranking()
+    users = sim.user_embedding_matrix()
+    pkl: list[float] = []
+    ucr: list[float] = []
+    for n in spec.payload:
+        popular = ranking[: min(int(n), dataset.num_items)]
+        covered = dataset.covered_users(popular)
+        item_vecs = sim.model.item_embeddings[popular]
+        user_vecs = users[covered] if len(covered) else users
+        pkl.append(float(pairwise_kl(item_vecs, user_vecs)))
+        ucr.append(float(user_coverage_ratio(dataset, popular)))
+    return {"pkl": pkl, "ucr": ucr}
+
+
+_CELL_KINDS = {
+    "er_hr": _run_er_hr,
+    "pkl_ucr": _run_pkl_ucr,
+}
+
+
+def execute_cell(spec: CellSpec, dataset: InteractionDataset) -> Any:
+    """Run one cell spec against its dataset and return its raw values.
+
+    Raw values are plain JSON-serialisable structures (lists / dicts of
+    floats) so they round-trip bit-exactly through both pickling (the
+    pool) and the JSON cache.
+    """
+    try:
+        executor = _CELL_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell kind {spec.kind!r}; expected one of "
+            f"{sorted(_CELL_KINDS)}"
+        ) from None
+    return executor(spec, dataset)
+
+
+def cells_from_values(values: Sequence[Sequence[float]]) -> tuple[Cell, ...]:
+    """Reconstruct the formatted-cell tuple from an ``er_hr`` raw value."""
+    return tuple(Cell(er=pair[0], hr=pair[1]) for pair in values)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache keys
+# ----------------------------------------------------------------------
+
+def dataset_fingerprint(dataset: InteractionDataset) -> str:
+    """Stable content hash of a dataset's interactions and split.
+
+    Hashing the *content* (not the generating config) means any change
+    to the dataset — different synthesis code, different raw files on
+    disk, a different split — busts every cache key built on it.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{dataset.name}|{dataset.num_users}|{dataset.num_items}".encode()
+    )
+    # Deliberately reads train_pos directly rather than the memoised
+    # train_csr() cache: a caller-materialised dataset mutated between
+    # runs must change its fingerprint, and the CSR cache would pin the
+    # pre-mutation interactions.
+    lengths = np.fromiter(
+        (len(items) for items in dataset.train_pos),
+        dtype=np.int64,
+        count=dataset.num_users,
+    )
+    digest.update(lengths.tobytes())
+    if dataset.num_users and lengths.sum():
+        indices = np.concatenate(dataset.train_pos)
+        digest.update(np.ascontiguousarray(indices, dtype=np.int64).tobytes())
+    digest.update(
+        np.ascontiguousarray(dataset.test_items, dtype=np.int64).tobytes()
+    )
+    return digest.hexdigest()
+
+
+def cell_cache_key(spec: CellSpec, dataset_fp: str) -> str:
+    """Content address of one cell result.
+
+    The key covers everything the result depends on: the code-version
+    tag, the cell kind and engine, the full experiment config, the
+    evaluation cutoffs, the kind payload and the dataset fingerprint.
+    Any difference in any of them yields a different key.
+    """
+    ks = spec.ks if spec.ks is not None else (spec.config.train.top_k,)
+    record = {
+        "version": CACHE_VERSION,
+        "kind": spec.kind,
+        "engine": spec.engine,
+        "ks": list(ks),
+        "payload": list(spec.payload),
+        "config": asdict(spec.config),
+        "dataset": dataset_fp,
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+#: Per-worker dataset table, installed once by the pool initializer.
+_WORKER_DATASETS: dict[str, InteractionDataset] | None = None
+
+
+def _pool_initializer(payload: bytes) -> None:
+    """Unpickle the shared datasets once per worker process."""
+    global _WORKER_DATASETS
+    _WORKER_DATASETS = pickle.loads(payload)
+
+
+def _pool_execute(index: int, spec: CellSpec) -> tuple[int, Any]:
+    """Worker entry point: run one cell against the shipped dataset."""
+    assert _WORKER_DATASETS is not None, "pool initializer did not run"
+    return index, execute_cell(spec, _WORKER_DATASETS[spec.dataset_key])
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+
+class SweepRunner:
+    """Executes a list of cell specs, in parallel and/or from cache.
+
+    ``workers <= 1`` runs every cell inline in the calling process (the
+    sequential reference path, and the default for table generators so
+    plain calls behave exactly as before).  ``workers >= 2`` runs
+    pending cells on a process pool; shared datasets are pickled once
+    and shipped through the pool initializer.
+
+    With ``cache_dir`` set, each finished cell is written to a
+    content-addressed JSON entry the moment it completes, so an
+    interrupted sweep resumes from what it finished, and a repeated
+    sweep is served from cache entirely.  ``last_stats`` /
+    ``total_stats`` expose the hit/executed accounting.
+    """
+
+    def __init__(self, *, workers: int = 0, cache_dir: str | None = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.last_stats = SweepStats()
+        self.total_stats = SweepStats()
+        # Datasets this runner generated (and their fingerprints),
+        # memoised by their frozen DatasetConfig: a multi-table sweep
+        # through one runner generates and fingerprints each shared
+        # dataset once, not once per table.
+        self._loaded: dict[DatasetConfig, InteractionDataset] = {}
+        self._fingerprints: dict[DatasetConfig, str] = {}
+
+    # -- cache helpers -------------------------------------------------
+
+    def _entry_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _load_cached(self, key: str) -> Any | None:
+        entry = load_sweep_entry(self._entry_path(key))
+        if entry is None or entry.get("key") != key:
+            return None
+        return entry["values"]
+
+    def _store(self, key: str | None, spec: CellSpec, values: Any) -> None:
+        if key is None:
+            return
+        save_sweep_entry(
+            self._entry_path(key), key=key, kind=spec.kind, values=values
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[CellSpec],
+        datasets: Mapping[str, DatasetConfig | InteractionDataset],
+    ) -> list[Any]:
+        """Execute (or recall) every cell; results align with ``cells``.
+
+        ``datasets`` maps each ``dataset_key`` to either a
+        :class:`~repro.config.DatasetConfig` (generated exactly once,
+        here) or an already-materialised
+        :class:`~repro.datasets.base.InteractionDataset`.
+        """
+        cells = list(cells)
+        loaded: dict[str, InteractionDataset] = {}
+        for key, value in datasets.items():
+            if isinstance(value, InteractionDataset):
+                loaded[key] = value
+            else:
+                if value not in self._loaded:
+                    self._loaded[value] = load_dataset(value)
+                loaded[key] = self._loaded[value]
+        for spec in cells:
+            if spec.dataset_key not in loaded:
+                raise KeyError(
+                    f"cell references unknown dataset key {spec.dataset_key!r}"
+                )
+
+        fingerprints: dict[str, str] = {}
+        if self.cache_dir is not None:
+            for key, value in datasets.items():
+                if isinstance(value, DatasetConfig):
+                    if value not in self._fingerprints:
+                        self._fingerprints[value] = dataset_fingerprint(
+                            loaded[key]
+                        )
+                    fingerprints[key] = self._fingerprints[value]
+                else:
+                    # Caller-materialised datasets are hashed per run —
+                    # the runner cannot know they were left unmutated.
+                    fingerprints[key] = dataset_fingerprint(value)
+
+        results: list[Any] = [None] * len(cells)
+        pending: list[tuple[int, str | None]] = []
+        hits = 0
+        for index, spec in enumerate(cells):
+            key = None
+            if self.cache_dir is not None:
+                key = cell_cache_key(spec, fingerprints[spec.dataset_key])
+                cached = self._load_cached(key)
+                if cached is not None:
+                    results[index] = cached
+                    hits += 1
+                    continue
+            pending.append((index, key))
+
+        if pending:
+            if self.workers >= 2 and len(pending) >= 2:
+                self._run_pool(cells, loaded, pending, results)
+            else:
+                for index, key in pending:
+                    spec = cells[index]
+                    results[index] = execute_cell(spec, loaded[spec.dataset_key])
+                    self._store(key, spec, results[index])
+
+        self.last_stats = SweepStats(
+            total=len(cells), cache_hits=hits, executed=len(pending)
+        )
+        self.total_stats = self.total_stats.merged(self.last_stats)
+        return results
+
+    def _run_pool(
+        self,
+        cells: list[CellSpec],
+        loaded: dict[str, InteractionDataset],
+        pending: list[tuple[int, str | None]],
+        results: list[Any],
+    ) -> None:
+        """Run pending cells on a process pool, caching as they finish."""
+        needed = {cells[index].dataset_key for index, _ in pending}
+        payload = pickle.dumps(
+            {key: loaded[key] for key in needed},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(payload,),
+        ) as pool:
+            futures = {
+                pool.submit(_pool_execute, index, cells[index]): (index, key)
+                for index, key in pending
+            }
+            for future in as_completed(futures):
+                _, key = futures[future]
+                index, values = future.result()
+                results[index] = values
+                self._store(key, cells[index], values)

@@ -3,22 +3,29 @@
 Each function regenerates one table (at the scaled-down presets) and
 returns a :class:`repro.experiments.reporting.TableResult` whose rows
 mirror the paper's layout. See EXPERIMENTS.md for paper-vs-measured.
+
+Generators declare their grid as :class:`~repro.experiments.sweep.CellSpec`
+data and hand the whole grid to a
+:class:`~repro.experiments.sweep.SweepRunner`, which executes the cells
+sequentially (the default), on a process pool, and/or from the
+content-addressed result cache — see ``repro sweep`` and
+docs/ARCHITECTURE.md "Experiment orchestration".  Cell results are
+identical on every path, so tables are byte-identical no matter how
+they were executed.
 """
 
 from __future__ import annotations
 
 from repro.config import AttackConfig, DefenseConfig, replace
-from repro.datasets.loaders import load_dataset
 from repro.defenses.registry import DEFENSE_NAMES
 from repro.experiments.presets import (
     attack_config,
+    dataset_config,
     defense_config,
     experiment,
 )
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import Cell, run_cell
-from repro.federated.simulation import FederatedSimulation
-from repro.metrics.divergence import pairwise_kl, user_coverage_ratio
+from repro.experiments.sweep import CellSpec, SweepRunner, cells_from_values
 
 __all__ = [
     "table2_pkl_ucr",
@@ -74,6 +81,11 @@ def _defense_label(name: str) -> str:
     }.get(name, name)
 
 
+def _fmt(values) -> str:
+    """Format a single-cutoff ``er_hr`` cell result as the table string."""
+    return str(cells_from_values(values)[0])
+
+
 # ----------------------------------------------------------------------
 # Table II: PKL / UCR vs popular set size N
 # ----------------------------------------------------------------------
@@ -84,6 +96,7 @@ def table2_pkl_ucr(
     popular_sizes: tuple[int, ...] = (1, 10, 50, 150),
     dataset: str = "ml-100k",
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table II: closeness of popular-item and user embedding sets.
 
@@ -91,33 +104,26 @@ def table2_pkl_ucr(
     between the top-N popular items' embeddings and the embeddings of
     the users covered by them, plus the user coverage ratio UCR.
     """
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Table II: PKL / UCR vs N (clean training)",
         ["Metric", "Model"] + [f"N={n}" for n in popular_sizes],
     )
+    specs = [
+        CellSpec(
+            config=experiment(dataset, kind, seed=seed),
+            dataset_key=dataset,
+            kind="pkl_ucr",
+            payload=tuple(popular_sizes),
+        )
+        for kind in model_kinds
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
     ucr_row: list[str] | None = None
-    for kind in model_kinds:
-        config = experiment(dataset, kind, seed=seed)
-        sim = FederatedSimulation(config)
-        sim.run()
-        ranking = sim.dataset.popularity_ranking()
-        users = sim.user_embedding_matrix()
-        pkl_cells: list[str] = []
-        ucr_cells: list[str] = []
-        for n in popular_sizes:
-            popular = ranking[: min(n, sim.dataset.num_items)]
-            covered = [
-                u
-                for u in range(sim.dataset.num_users)
-                if set(popular.tolist()) & sim.dataset.train_set(u)
-            ]
-            item_vecs = sim.model.item_embeddings[popular]
-            user_vecs = users[covered] if covered else users
-            pkl_cells.append(f"{pairwise_kl(item_vecs, user_vecs):.4f}")
-            ucr_cells.append(f"{user_coverage_ratio(sim.dataset, popular):.4f}")
-        table.add_row("PKL", kind.upper(), *pkl_cells)
+    for kind, result in zip(model_kinds, values):
+        table.add_row("PKL", kind.upper(), *[f"{p:.4f}" for p in result["pkl"]])
         if ucr_row is None:
-            ucr_row = ucr_cells
+            ucr_row = [f"{u:.4f}" for u in result["ucr"]]
     if ucr_row is not None:
         table.add_row("UCR", "both", *ucr_row)
     return table
@@ -133,25 +139,30 @@ def table3_attacks(
     model_kinds: tuple[str, ...] = ("mf", "ncf"),
     attacks: tuple[str, ...] = TABLE3_ATTACKS,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table III: all attacks x models x datasets, ER@10 / HR@10."""
+    runner = runner if runner is not None else SweepRunner()
     headers = ["Attack"] + [
         f"{kind.upper()}:{ds}" for kind in model_kinds for ds in datasets
     ]
     table = TableResult("Table III: attack comparison (ER@10 / HR@10, %)", headers)
-    shared = {
-        (kind, ds): load_dataset(experiment(ds, kind, seed=seed).dataset)
+    specs = [
+        CellSpec(
+            config=experiment(ds, kind, attack=attack, seed=seed),
+            dataset_key=ds,
+        )
+        for attack in attacks
         for kind in model_kinds
         for ds in datasets
-    }
-    for attack in attacks:
-        cells: list[str] = []
-        for kind in model_kinds:
-            for ds in datasets:
-                config = experiment(ds, kind, attack=attack, seed=seed)
-                cell = run_cell(config, dataset=shared[(kind, ds)])
-                cells.append(str(cell))
-        table.add_row(_attack_label(attack), *cells)
+    ]
+    values = runner.run(
+        specs, {ds: dataset_config(ds, seed=seed) for ds in datasets}
+    )
+    width = len(model_kinds) * len(datasets)
+    for row, attack in enumerate(attacks):
+        chunk = values[row * width : (row + 1) * width]
+        table.add_row(_attack_label(attack), *[_fmt(v) for v in chunk])
     return table
 
 
@@ -166,25 +177,30 @@ def table4_defenses(
     attacks: tuple[str, ...] = ("a_hum", "pieck_ipe", "pieck_uea"),
     defenses: tuple[str, ...] = TABLE4_DEFENSES,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table IV: every defense against the top-3 attacks on ML-100K."""
+    runner = runner if runner is not None else SweepRunner()
     headers = ["Defense"] + [
         f"{kind.upper()}:{_attack_label(a)}" for kind in model_kinds for a in attacks
     ]
     table = TableResult("Table IV: defense comparison (ER@10 / HR@10, %)", headers)
-    shared = {
-        kind: load_dataset(experiment(dataset, kind, seed=seed).dataset)
+    specs = [
+        CellSpec(
+            config=experiment(
+                dataset, kind, attack=attack, defense=defense, seed=seed
+            ),
+            dataset_key=dataset,
+        )
+        for defense in defenses
         for kind in model_kinds
-    }
-    for defense in defenses:
-        cells: list[str] = []
-        for kind in model_kinds:
-            for attack in attacks:
-                config = experiment(
-                    dataset, kind, attack=attack, defense=defense, seed=seed
-                )
-                cells.append(str(run_cell(config, dataset=shared[kind])))
-        table.add_row(_defense_label(defense), *cells)
+        for attack in attacks
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    width = len(model_kinds) * len(attacks)
+    for row, defense in enumerate(defenses):
+        chunk = values[row * width : (row + 1) * width]
+        table.add_row(_defense_label(defense), *[_fmt(v) for v in chunk])
     return table
 
 
@@ -198,11 +214,18 @@ def table5_top_k(
     model_kind: str = "mf",
     ks: tuple[int, ...] = (5, 20),
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
-    """Table V: ER@K / HR@K for K in {5, 20} (attack + defense)."""
+    """Table V: ER@K / HR@K for K in {5, 20} (attack + defense).
+
+    Each (attack, defense) pair trains exactly once; every cutoff K is
+    evaluated from the same trained model (``CellSpec.ks``), halving
+    the table's cost versus the old retrain-per-K loop with
+    bit-identical cells.
+    """
+    runner = runner if runner is not None else SweepRunner()
     headers = ["Attack", "Defense"] + [f"ER@{k} / HR@{k}" for k in ks]
     table = TableResult("Table V: effect of the recommendation cutoff K", headers)
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
     rows: list[tuple[str, str | DefenseConfig]] = [
         ("none", "none"),
         ("pieck_ipe", "none"),
@@ -210,14 +233,24 @@ def table5_top_k(
         ("pieck_uea", "none"),
         ("pieck_uea", "regularization"),
     ]
-    for attack, defense in rows:
-        cells = []
-        for k in ks:
-            config = experiment(
+    specs = [
+        CellSpec(
+            config=experiment(
                 dataset, model_kind, attack=attack, defense=defense, seed=seed
-            )
-            cells.append(str(run_cell(config, dataset=shared, k=k)))
-        table.add_row(_attack_label(attack), _defense_label(str(defense)), *cells)
+            ),
+            dataset_key=dataset,
+            ks=tuple(ks),
+        )
+        for attack, defense in rows
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for (attack, defense), result in zip(rows, values):
+        cells = cells_from_values(result)
+        table.add_row(
+            _attack_label(attack),
+            _defense_label(str(defense)),
+            *[str(cell) for cell in cells],
+        )
     return table
 
 
@@ -230,34 +263,36 @@ def table6_ablation(
     dataset: str = "ml-100k",
     model_kind: str = "mf",
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table VI: L_IPE technique ablation and L_def term ablation."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Table VI: ablations (MF-FRS on ML-100K)",
         ["Variant", "Attack", "Defense", "ER@10 / HR@10"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
 
     # --- L_IPE: PKL metric, then PCOS +kappa +partition increments.
+    # The toggles live on AttackConfig, so every variant is an ordinary
+    # config-determined cell.
     ipe_variants = [
-        ("L_IPE: PKL metric", {"metric": "pkl"}),
-        ("L_IPE: PCOS", {"use_weights": False, "use_partition": False}),
-        ("L_IPE: PCOS + kappa", {"use_weights": True, "use_partition": False}),
+        ("L_IPE: PKL metric", {"ipe_metric": "pkl"}),
+        ("L_IPE: PCOS", {"ipe_use_weights": False, "ipe_use_partition": False}),
+        ("L_IPE: PCOS + kappa", {"ipe_use_weights": True, "ipe_use_partition": False}),
         ("L_IPE: PCOS + kappa + P+/-", {}),
     ]
-    from repro.attacks.pieck_ipe import PieckIPE  # local import avoids cycles
-
-    for label, overrides in ipe_variants:
-        config = experiment(dataset, model_kind, attack="pieck_ipe", seed=seed)
-        sim = FederatedSimulation(config, dataset=shared)
-        for client in sim.malicious_clients:
-            assert isinstance(client, PieckIPE)
-            client.metric = overrides.get("metric", "pcos")
-            client.use_weights = overrides.get("use_weights", True)
-            client.use_partition = overrides.get("use_partition", True)
-        result = sim.run()
-        cell = Cell(er=100.0 * result.exposure, hr=100.0 * result.hit_ratio)
-        table.add_row(label, "PIECK-IPE", "NoDefense", str(cell))
+    specs = [
+        CellSpec(
+            config=experiment(
+                dataset,
+                model_kind,
+                attack=attack_config("pieck_ipe", **overrides),
+                seed=seed,
+            ),
+            dataset_key=dataset,
+        )
+        for _, overrides in ipe_variants
+    ]
 
     # --- L_def: Re1-only, Re2-only, both — against both PIECK variants.
     def_variants = [
@@ -265,15 +300,28 @@ def table6_ablation(
         ("L_def: Re2 only", {"beta": 0.0}),
         ("L_def: Re1 + Re2", {}),
     ]
+    def_rows: list[tuple[str, str]] = []
     for label, overrides in def_variants:
         for attack in ("pieck_ipe", "pieck_uea"):
-            defense = defense_config("regularization", model_kind)
-            defense = replace(defense, **overrides)
-            config = experiment(
-                dataset, model_kind, attack=attack, defense=defense, seed=seed
+            defense = replace(
+                defense_config("regularization", model_kind), **overrides
             )
-            cell = run_cell(config, dataset=shared)
-            table.add_row(label, _attack_label(attack), "ours", str(cell))
+            specs.append(
+                CellSpec(
+                    config=experiment(
+                        dataset, model_kind, attack=attack, defense=defense,
+                        seed=seed,
+                    ),
+                    dataset_key=dataset,
+                )
+            )
+            def_rows.append((label, attack))
+
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for (label, _), result in zip(ipe_variants, values):
+        table.add_row(label, "PIECK-IPE", "NoDefense", _fmt(result))
+    for (label, attack), result in zip(def_rows, values[len(ipe_variants):]):
+        table.add_row(label, _attack_label(attack), "ours", _fmt(result))
     return table
 
 
@@ -288,13 +336,14 @@ def table7_system_settings(
     large_q: int = 10,
     num_targets: int = 3,
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table VII: sampling ratio q=10 and |T|=3 multi-target cells."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         f"Table VII: q={large_q} and |T|={num_targets} (MF-FRS on ML-100K)",
         ["Attack", "Defense", f"q={large_q}", f"|T|={num_targets}"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
     rows = [
         ("none", "none"),
         ("pieck_ipe", "none"),
@@ -302,6 +351,7 @@ def table7_system_settings(
         ("pieck_uea", "none"),
         ("pieck_uea", "regularization"),
     ]
+    specs: list[CellSpec] = []
     for attack, defense in rows:
         # Column 1: large sampling ratio q. The paper retunes the
         # attack at q=10 (footnote: N=15 for PIECK-UEA); at this
@@ -316,21 +366,35 @@ def table7_system_settings(
             attack_q = attack_config(attack, uea_pseudo_source="refined")
         else:
             attack_q = attack
-        config_q = experiment(
-            dataset, model_kind, attack=attack_q, defense=defense, seed=seed,
-            negative_ratio=large_q,
+        specs.append(
+            CellSpec(
+                config=experiment(
+                    dataset, model_kind, attack=attack_q, defense=defense,
+                    seed=seed, negative_ratio=large_q,
+                ),
+                dataset_key=dataset,
+            )
         )
-        cell_q = run_cell(config_q, dataset=shared)
         # Column 2: multiple target items (train-one-then-copy).
         attack_cfg = None
         if attack != "none":
             attack_cfg = attack_config(attack, num_targets=num_targets)
-        config_t = experiment(
-            dataset, model_kind, attack=attack_cfg, defense=defense, seed=seed
+        specs.append(
+            CellSpec(
+                config=experiment(
+                    dataset, model_kind, attack=attack_cfg, defense=defense,
+                    seed=seed,
+                ),
+                dataset_key=dataset,
+            )
         )
-        cell_t = run_cell(config_t, dataset=shared)
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for row, (attack, defense) in enumerate(rows):
         table.add_row(
-            _attack_label(attack), _defense_label(defense), str(cell_q), str(cell_t)
+            _attack_label(attack),
+            _defense_label(defense),
+            _fmt(values[2 * row]),
+            _fmt(values[2 * row + 1]),
         )
     return table
 
@@ -345,24 +409,40 @@ def table9_multi_target(
     model_kind: str = "mf",
     target_counts: tuple[int, ...] = (2, 3, 5),
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table IX: |T| sweep, Train-Together vs Train-One-Then-Copy."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Table IX: multi-target strategies (ER@10 / HR@10, %)",
         ["Attack", "Strategy"] + [f"|T|={t}" for t in target_counts],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
-    for attack in ("pieck_ipe", "pieck_uea"):
-        for strategy in ("together", "one_then_copy"):
-            cells = []
-            for count in target_counts:
-                cfg = attack_config(
+    rows = [
+        (attack, strategy)
+        for attack in ("pieck_ipe", "pieck_uea")
+        for strategy in ("together", "one_then_copy")
+    ]
+    specs = [
+        CellSpec(
+            config=experiment(
+                dataset,
+                model_kind,
+                attack=attack_config(
                     attack, num_targets=count, multi_target_strategy=strategy
-                )
-                config = experiment(dataset, model_kind, attack=cfg, seed=seed)
-                cells.append(str(run_cell(config, dataset=shared)))
-            label = "Together" if strategy == "together" else "OneThenCopy"
-            table.add_row(_attack_label(attack), label, *cells)
+                ),
+                seed=seed,
+            ),
+            dataset_key=dataset,
+        )
+        for attack, strategy in rows
+        for count in target_counts
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    width = len(target_counts)
+    for row, (attack, strategy) in enumerate(rows):
+        chunk = values[row * width : (row + 1) * width]
+        label = "Together" if strategy == "together" else "OneThenCopy"
+        table.add_row(_attack_label(attack), label, *[_fmt(v) for v in chunk])
     return table
 
 
@@ -375,25 +455,36 @@ def table10_learning_rates(
     dataset: str = "ml-100k",
     model_kind: str = "mf",
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table X: client/server learning-rate inconsistency."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Table X: inconsistent learning rates (MF-FRS on ML-100K)",
         ["Client rate", "Attack", "ER@10 / HR@10"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
     scenarios = [
         ("eta_i = eta (1.0)", {}),
         ("eta_i = 1e-2", {"client_lr": 1e-2}),
         ("eta_i ~ [1e-2, 1e-0]", {"client_lr_range": (1e-2, 1.0)}),
     ]
-    for label, overrides in scenarios:
-        for attack in ("none", "pieck_ipe", "pieck_uea"):
-            config = experiment(
+    rows = [
+        (label, attack, overrides)
+        for label, overrides in scenarios
+        for attack in ("none", "pieck_ipe", "pieck_uea")
+    ]
+    specs = [
+        CellSpec(
+            config=experiment(
                 dataset, model_kind, attack=attack, seed=seed, **overrides
-            )
-            cell = run_cell(config, dataset=shared)
-            table.add_row(label, _attack_label(attack), str(cell))
+            ),
+            dataset_key=dataset,
+        )
+        for label, attack, overrides in rows
+    ]
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for (label, attack, _), result in zip(rows, values):
+        table.add_row(label, _attack_label(attack), _fmt(result))
     return table
 
 
@@ -406,13 +497,14 @@ def table11_bpr_loss(
     dataset: str = "ml-100k",
     model_kind: str = "mf",
     seed: int = 0,
+    runner: SweepRunner | None = None,
 ) -> TableResult:
     """Table XI: attacks and defense under the BPR training loss."""
+    runner = runner if runner is not None else SweepRunner()
     table = TableResult(
         "Table XI: BCE vs BPR training loss (MF-FRS on ML-100K)",
         ["Attack", "Defense", "BCE", "BPR"],
     )
-    shared = load_dataset(experiment(dataset, model_kind, seed=seed).dataset)
     rows = [
         ("none", "none"),
         ("pieck_ipe", "none"),
@@ -420,8 +512,8 @@ def table11_bpr_loss(
         ("pieck_uea", "none"),
         ("pieck_uea", "regularization"),
     ]
+    specs: list[CellSpec] = []
     for attack, defense in rows:
-        cells = []
         for loss in ("bce", "bpr"):
             # Benign clients know their own training loss, so the
             # defense weights are tuned per loss: BPR's pairwise
@@ -430,10 +522,21 @@ def table11_bpr_loss(
             defense_cfg: str | DefenseConfig = defense
             if loss == "bpr" and defense == "regularization":
                 defense_cfg = defense_config(defense, model_kind, beta=2.0)
-            config = experiment(
-                dataset, model_kind, attack=attack, defense=defense_cfg,
-                seed=seed, loss=loss,
+            specs.append(
+                CellSpec(
+                    config=experiment(
+                        dataset, model_kind, attack=attack, defense=defense_cfg,
+                        seed=seed, loss=loss,
+                    ),
+                    dataset_key=dataset,
+                )
             )
-            cells.append(str(run_cell(config, dataset=shared)))
-        table.add_row(_attack_label(attack), _defense_label(defense), *cells)
+    values = runner.run(specs, {dataset: dataset_config(dataset, seed=seed)})
+    for row, (attack, defense) in enumerate(rows):
+        table.add_row(
+            _attack_label(attack),
+            _defense_label(defense),
+            _fmt(values[2 * row]),
+            _fmt(values[2 * row + 1]),
+        )
     return table

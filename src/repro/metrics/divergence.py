@@ -60,12 +60,8 @@ def pairwise_kl(p_matrix: np.ndarray, q_matrix: np.ndarray) -> float:
 
 def user_coverage_ratio(dataset: InteractionDataset, popular_items: np.ndarray) -> float:
     """UCR: fraction of users who interacted with >= 1 mined popular item."""
-    popular = set(np.atleast_1d(popular_items).tolist())
-    if not popular:
+    popular = np.atleast_1d(np.asarray(popular_items, dtype=np.int64))
+    if popular.size == 0:
         return 0.0
-    covered = sum(
-        1
-        for user in range(dataset.num_users)
-        if popular & dataset.train_set(user)
-    )
+    covered = len(dataset.covered_users(popular))
     return covered / max(dataset.num_users, 1)

@@ -3,21 +3,32 @@
 A reproduction harness lives or dies by being able to archive runs:
 ``save_result`` / ``load_result`` serialise a
 :class:`repro.federated.SimulationResult` (metrics + history) as JSON,
-and ``save_model`` / ``load_model`` checkpoint a global model's item
-embeddings and interaction parameters as a NumPy archive.
+``save_model`` / ``load_model`` checkpoint a global model's item
+embeddings and interaction parameters as a NumPy archive, and
+``save_sweep_entry`` / ``load_sweep_entry`` store the sweep
+orchestrator's content-addressed per-cell cache entries (see
+:mod:`repro.experiments.sweep`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Any
 
 import numpy as np
 
 from repro.federated.simulation import EvalRecord, SimulationResult
 from repro.models.base import RecommenderModel
 
-__all__ = ["save_result", "load_result", "save_model", "load_model"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_model",
+    "load_model",
+    "save_sweep_entry",
+    "load_sweep_entry",
+]
 
 
 def save_result(result: SimulationResult, path: str) -> None:
@@ -57,6 +68,42 @@ def load_result(path: str) -> SimulationResult:
             for rec in payload["history"]
         ],
     )
+
+
+def save_sweep_entry(path: str, *, key: str, kind: str, values: Any) -> None:
+    """Write one sweep-cache entry atomically (write-temp + rename).
+
+    ``values`` must be JSON-serialisable; finite floats round-trip
+    bit-exactly through JSON, which is what lets cached table cells be
+    byte-identical to freshly computed ones.  The atomic rename means a
+    killed sweep never leaves a half-written entry behind — interrupted
+    runs resume from whole entries only.
+    """
+    payload = {"key": key, "kind": kind, "values": values}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    with open(tmp_path, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)
+
+
+def load_sweep_entry(path: str) -> dict[str, Any] | None:
+    """Load a sweep-cache entry; ``None`` when missing or unreadable.
+
+    Corrupt or truncated entries are treated as cache misses (the cell
+    simply recomputes and overwrites them), never as errors.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        # ValueError covers both JSONDecodeError and the
+        # UnicodeDecodeError a binary-corrupt entry raises.
+        return None
+    if not isinstance(payload, dict) or "key" not in payload or "values" not in payload:
+        return None
+    return payload
 
 
 def save_model(model: RecommenderModel, path: str) -> None:
