@@ -4,29 +4,56 @@ The package implements the paper's contribution — PIECK with its two
 variants (Sections IV-B to IV-D) — and the four top-tier baselines it
 compares against (FedRecAttack, PipAttack, A-ra, A-hum), each with the
 "prior knowledge masked" mode used for Table III's fair comparison.
+
+Each attack exists in two bit-identical executions: per-object
+:class:`MaliciousClient` ``participate`` calls (the reference), and
+the team-level struct-of-arrays :class:`MaliciousCohort` that runs all
+sampled clients of a round in one batched pass (the batch engine's
+default).
 """
 
 from repro.attacks.base import (
+    AttackPayload,
     MaliciousClient,
+    PieckClient,
     bounded_step_gradient,
     delta_as_gradient,
     select_target_items,
+    stacked_step_gradients,
 )
-from repro.attacks.mining import DeltaNormTracker, PopularItemMiner
+from repro.attacks.cohort import CohortUpload, MaliciousCohort
+from repro.attacks.mining import (
+    CohortMiner,
+    DeltaNormTracker,
+    PopularItemMiner,
+    RoundSnapshotCache,
+)
 from repro.attacks.pieck_ipe import PieckIPE, ipe_loss_and_grad
 from repro.attacks.pieck_uea import PieckUEA
-from repro.attacks.registry import ATTACK_NAMES, build_malicious_clients
+from repro.attacks.registry import (
+    ATTACK_NAMES,
+    build_malicious_clients,
+    build_malicious_cohort,
+)
 
 __all__ = [
+    "AttackPayload",
     "MaliciousClient",
+    "PieckClient",
     "delta_as_gradient",
     "bounded_step_gradient",
+    "stacked_step_gradients",
     "select_target_items",
+    "CohortMiner",
+    "CohortUpload",
     "DeltaNormTracker",
+    "MaliciousCohort",
     "PopularItemMiner",
+    "RoundSnapshotCache",
     "PieckIPE",
     "PieckUEA",
     "ipe_loss_and_grad",
     "ATTACK_NAMES",
     "build_malicious_clients",
+    "build_malicious_cohort",
 ]

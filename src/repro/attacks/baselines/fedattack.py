@@ -10,16 +10,21 @@ training signal by treating the globally hardest samples adversarially
 Including it lets the harness demonstrate the stealth contrast the
 paper draws: targeted PIECK leaves HR intact while FedAttack shows up
 directly in recommendation quality.
+
+Because the round is exactly a benign local step with flipped labels,
+the cohort path batches whole teams through the same stacked
+primitives the benign engine uses (``spawn_batch`` RNG streams,
+``sample_local_batches``, ``RecommenderModel.batch_local_step``) — see
+:meth:`~repro.attacks.cohort.MaliciousCohort.compute_uploads`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
+from repro.attacks.base import AttackPayload, MaliciousClient
 from repro.config import AttackConfig, TrainConfig
 from repro.datasets.sampling import sample_local_batch
-from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
 from repro.models.losses import bce_loss_and_grad
 from repro.rng import spawn
@@ -52,10 +57,13 @@ class FedAttack(MaliciousClient):
         self.user_embedding = rng.normal(scale=0.1, size=embedding_dim)
         self._seed = seed
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
         rng = spawn(self._seed, "fedattack", self.user_id, round_idx)
         item_ids, labels = sample_local_batch(
             rng, self.fake_positives, self.num_items, train_cfg.negative_ratio
@@ -65,6 +73,4 @@ class FedAttack(MaliciousClient):
         # Invert the supervision: hard-sample style label flipping.
         _, dlogits = bce_loss_and_grad(logits, 1.0 - labels)
         bundle = model.backward(cache, dlogits)
-        return self._make_update(
-            item_ids, scale * bundle.items, [scale * g for g in bundle.params]
-        )
+        return AttackPayload(item_ids, bundle.items, list(bundle.params))

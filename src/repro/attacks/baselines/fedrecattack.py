@@ -7,15 +7,19 @@ matrix each time it participates, and promotes the target items for the
 surrogate users. With the prior knowledge masked — the paper's fair
 Table III setting — the "known" interactions are random noise, the
 surrogates approximate nobody, and the attack collapses (ER ~ 0).
+
+The surrogate refit warm-starts across rounds (per-client mutable
+state), so the cohort path runs :meth:`FedRecAttack._round_payload`
+per sampled client and batches only the participation scaling and the
+final target-step gradient stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
+from repro.attacks.base import AttackPayload, MaliciousClient
 from repro.config import AttackConfig, TrainConfig
-from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
 from repro.models.losses import sigmoid
 from repro.rng import spawn
@@ -58,29 +62,27 @@ class FedRecAttack(MaliciousClient):
         self.fit_lr = fit_lr
         self._seed = seed
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
         self._refit_surrogates(model)
-        if self.config.multi_target_strategy == "one_then_copy":
-            trained = self.targets[:1]
-        else:
-            trained = self.targets
-        deltas = []
-        for target in trained:
+        deltas: list[np.ndarray] = []
+        for target in self._targets_to_train():
             old = model.item_embeddings[target].copy()
             new = self._promote(model, old)
             deltas.append(new - old)
-        if self.config.multi_target_strategy == "one_then_copy":
-            deltas = [deltas[0]] * len(self.targets)
+        deltas = self._expand_deltas(deltas)
         reference_norm = float(
             np.mean(np.linalg.norm(self.surrogate_users, axis=1))
         )
         grads = self._target_step_gradients(
-            model, deltas, train_cfg.lr, reference_norm, scale
+            model, deltas, train_cfg.lr, reference_norm
         )
-        return self._make_update(self.targets, grads)
+        return AttackPayload(self.targets, grads)
 
     # ------------------------------------------------------------------
 

@@ -7,15 +7,19 @@ users — gradient-descending the random embeddings to dislike the target
 — and also derives item-embedding gradients from them, which is why it
 retains partial effectiveness on MF-FRS (Table III) while A-ra, whose
 parameters are null there, does not.
+
+The simulated users come from each client's private per-round RNG
+stream, so the cohort path runs :meth:`ARa._round_payload` per sampled
+client and batches only the participation scaling and the final
+target-step gradient stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
+from repro.attacks.base import AttackPayload, MaliciousClient
 from repro.config import AttackConfig, TrainConfig
-from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
 from repro.models.losses import sigmoid
 from repro.rng import spawn
@@ -55,36 +59,34 @@ class ARa(MaliciousClient):
         self.num_simulated_users = num_simulated_users
         self._seed = seed
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
         rng = spawn(self._seed, "ara", self.user_id, round_idx)
         users = self._simulated_users(model, rng)
 
-        param_grads = [scale * g for g in self._poison_params(model, users, train_cfg.lr)]
+        param_grads = self._poison_params(model, users, train_cfg.lr)
         if not self.poison_items:
             if not param_grads:
                 return None  # MF-FRS: nothing to poison (null parameters).
             empty = np.empty((0, model.embedding_dim))
-            return self._make_update(np.empty(0, dtype=np.int64), empty, param_grads)
+            return AttackPayload(np.empty(0, dtype=np.int64), empty, param_grads)
 
-        deltas = []
-        if self.config.multi_target_strategy == "one_then_copy":
-            trained = self.targets[:1]
-        else:
-            trained = self.targets
-        for target in trained:
+        deltas: list[np.ndarray] = []
+        for target in self._targets_to_train():
             old = model.item_embeddings[target].copy()
             new = self._promote_item(model, old, users)
             deltas.append(new - old)
-        if self.config.multi_target_strategy == "one_then_copy":
-            deltas = [deltas[0]] * len(self.targets)
+        deltas = self._expand_deltas(deltas)
         reference_norm = float(np.mean(np.linalg.norm(users, axis=1)))
         grads = self._target_step_gradients(
-            model, deltas, train_cfg.lr, reference_norm, scale
+            model, deltas, train_cfg.lr, reference_norm
         )
-        return self._make_update(self.targets, grads, param_grads)
+        return AttackPayload(self.targets, grads, param_grads)
 
     # ------------------------------------------------------------------
 

@@ -7,15 +7,19 @@ promotion term for the attacker's own (malicious) user embedding.
 With the popularity prior masked (random labels — the paper's fair
 Table III setting) the classifier learns noise and the popularity
 alignment carries no signal.
+
+The classifier warm-starts across rounds and the masked labels differ
+per client, so the cohort path runs :meth:`PipAttack._round_payload`
+per sampled client and batches only the participation scaling and the
+final target-step gradient stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
+from repro.attacks.base import AttackPayload, MaliciousClient
 from repro.config import AttackConfig, TrainConfig
-from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
 from repro.models.losses import sigmoid
 from repro.rng import spawn
@@ -60,29 +64,27 @@ class PipAttack(MaliciousClient):
         self._weights = np.zeros(embedding_dim)
         self._bias = 0.0
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
         self._fit_classifier(model.item_embeddings)
-        if self.config.multi_target_strategy == "one_then_copy":
-            trained = self.targets[:1]
-        else:
-            trained = self.targets
-        deltas = []
-        for target in trained:
+        deltas: list[np.ndarray] = []
+        for target in self._targets_to_train():
             old = model.item_embeddings[target].copy()
             new = self._poison_target(model, old)
             deltas.append(new - old)
-        if self.config.multi_target_strategy == "one_then_copy":
-            deltas = [deltas[0]] * len(self.targets)
+        deltas = self._expand_deltas(deltas)
         reference_norm = float(
             np.mean(np.linalg.norm(model.item_embeddings, axis=1))
         )
         grads = self._target_step_gradients(
-            model, deltas, train_cfg.lr, reference_norm, scale
+            model, deltas, train_cfg.lr, reference_norm
         )
-        return self._make_update(self.targets, grads)
+        return AttackPayload(self.targets, grads)
 
     # ------------------------------------------------------------------
 

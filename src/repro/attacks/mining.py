@@ -5,13 +5,38 @@ larger and longer-lasting changes during FRS training (Properties 1-2),
 so accumulating the per-item L2 change of the received item matrix
 across the rounds a client is sampled (Δ-Norm, Eq. 7) ranks popular
 items at the top — with no prior knowledge whatsoever.
+
+Two executions of Algorithm 1 live here:
+
+* the per-client objects (:class:`DeltaNormTracker` wrapped by
+  :class:`PopularItemMiner`) — the reference implementation, one miner
+  per malicious client, fed through ``participate``;
+* the team-level :class:`CohortMiner` — struct-of-arrays state (one
+  ``(num_clients, num_items)`` accumulator matrix, vectorised
+  observation counters) plus a shared per-round observation ledger:
+  each round's received item matrix is snapshotted **once** for the
+  whole team, ``||v_j^r − v_j^{r'}||`` is computed once per distinct
+  previous-observation round ``r'`` and fancy-indexed into every
+  sampled client's accumulator row.  Bit-identical to running one
+  :class:`DeltaNormTracker` per client (asserted by the property suite
+  in ``tests/test_attack_cohort.py``) at O(1) item-matrix copies per
+  round instead of O(num_malicious).
+
+Same-round snapshot sharing for the per-client objects is provided by
+:class:`RoundSnapshotCache`: trackers observing the same round share
+one copy of the item matrix instead of each taking their own.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DeltaNormTracker", "PopularItemMiner"]
+__all__ = [
+    "DeltaNormTracker",
+    "PopularItemMiner",
+    "RoundSnapshotCache",
+    "CohortMiner",
+]
 
 
 class DeltaNormTracker:
@@ -28,28 +53,52 @@ class DeltaNormTracker:
         self.accumulated = np.zeros(num_items)
         self.observations = 0
         self._last: np.ndarray | None = None
+        self._order: np.ndarray | None = None
 
     @property
     def num_deltas(self) -> int:
         """How many Δ-Norm increments have been accumulated."""
         return max(self.observations - 1, 0)
 
-    def observe(self, item_matrix: np.ndarray) -> None:
-        """Record one received item embedding matrix."""
+    def observe(
+        self, item_matrix: np.ndarray, snapshot: np.ndarray | None = None
+    ) -> None:
+        """Record one received item embedding matrix.
+
+        ``snapshot`` may carry an already-materialised private copy of
+        ``item_matrix`` (same values, safe to retain) so that many
+        trackers observing the same round share **one** copy — without
+        it every tracker takes its own ``item_matrix.copy()``, which at
+        N malicious clients means N redundant ``(num_items, dim)``
+        matrices per round (see :class:`RoundSnapshotCache`).
+        """
         if item_matrix.shape[0] != self.num_items:
             raise ValueError(
                 f"expected {self.num_items} items, got {item_matrix.shape[0]}"
             )
         if self._last is not None:
             self.accumulated += np.linalg.norm(item_matrix - self._last, axis=1)
-        self._last = item_matrix.copy()
+        self._last = item_matrix.copy() if snapshot is None else snapshot
         self.observations += 1
+        self._order = None
 
     def top_items(self, count: int) -> np.ndarray:
-        """Item ids with the highest accumulated Δ-Norm, descending."""
+        """Item ids with the highest accumulated Δ-Norm, descending.
+
+        The requested prefix of the descending order is cached between
+        observations: repeated calls on a frozen accumulator (e.g.
+        analysis code reading a mined ranking every round) do not
+        re-sort.  Only the prefix is retained — a full ``(num_items,)``
+        permutation per tracker would dwarf the mined set at catalogue
+        scale — so a *larger* request after a smaller one re-sorts
+        once.
+        """
         count = min(count, self.num_items)
-        order = np.argsort(-self.accumulated, kind="stable")
-        return order[:count]
+        if self._order is None or len(self._order) < count:
+            self._order = np.argsort(-self.accumulated, kind="stable")[
+                :count
+            ].copy()
+        return self._order[:count]
 
 
 class PopularItemMiner:
@@ -66,6 +115,7 @@ class PopularItemMiner:
             raise ValueError("mining_rounds must be >= 1")
         if num_popular < 1:
             raise ValueError("num_popular must be >= 1")
+        self.num_items = num_items
         self.mining_rounds = mining_rounds
         self.num_popular = num_popular
         self._tracker = DeltaNormTracker(num_items)
@@ -76,11 +126,18 @@ class PopularItemMiner:
         """Whether the popular set has been mined."""
         return self._mined is not None
 
-    def observe(self, item_matrix: np.ndarray) -> None:
-        """Feed one received item matrix; freezes P when R-tilde is hit."""
+    def observe(
+        self, item_matrix: np.ndarray, snapshot: np.ndarray | None = None
+    ) -> None:
+        """Feed one received item matrix; freezes P when R-tilde is hit.
+
+        ``snapshot`` is passed through to the tracker (see
+        :meth:`DeltaNormTracker.observe`) so a whole malicious team can
+        share one per-round item-matrix copy.
+        """
         if self.ready:
             return
-        self._tracker.observe(item_matrix)
+        self._tracker.observe(item_matrix, snapshot=snapshot)
         if self._tracker.num_deltas >= self.mining_rounds:
             self._mined = self._tracker.top_items(self.num_popular)
 
@@ -89,3 +146,143 @@ class PopularItemMiner:
         if self._mined is None:
             raise RuntimeError("popular items not mined yet (miner not ready)")
         return self._mined
+
+
+class RoundSnapshotCache:
+    """One shared item-matrix copy per round for a team of trackers.
+
+    The registry hands every PIECK client of one attacker team the same
+    cache; each ``participate`` call fetches the round's shared
+    snapshot and passes it into its miner, so N co-sampled miners
+    retain one copy instead of N.  Keyed by the round index (the global
+    model is frozen within a round, so all same-round observers receive
+    identical matrices); earlier rounds' copies stay alive exactly as
+    long as some tracker still holds them as its baseline — ordinary
+    reference counting, no bookkeeping here.
+    """
+
+    def __init__(self):
+        self._round: int | None = None
+        self._copy: np.ndarray | None = None
+        #: Total copies materialised — O(rounds observed), never
+        #: O(clients); benchmarks assert this stays flat in team size.
+        self.copies = 0
+
+    def get(self, item_matrix: np.ndarray, round_idx: int) -> np.ndarray:
+        """The shared private copy of this round's item matrix."""
+        if self._round != round_idx:
+            self._copy = item_matrix.copy()
+            self._round = round_idx
+            self.copies += 1
+        return self._copy
+
+
+class CohortMiner:
+    """Struct-of-arrays Algorithm 1 for a whole malicious team.
+
+    Mirrors one :class:`DeltaNormTracker` + :class:`PopularItemMiner`
+    per client as flat arrays:
+
+    * ``accumulated`` — ``(num_clients, num_items)``; row ``i`` is
+      client ``i``'s Δ-Norm accumulator (Eq. 7);
+    * ``observations`` / ``last_round`` — per-client observation count
+      and the round of the client's previous observation;
+    * ``ready`` / ``mined`` — frozen-set flags and the mined popular
+      ids (``min(num_popular, num_items)`` wide, mined order).
+
+    The **shared observation ledger** is the pair of dicts
+    ``_snapshots`` / ``_refs``: round ``r``'s received item matrix is
+    copied once (Algorithm 1 line 3, for every sampled client at once)
+    and kept alive only while some still-mining client's last
+    observation was round ``r``.  Each ``observe`` computes
+    ``||v_j^r − v_j^{r'}||`` (line 4) once per *distinct* previous
+    round ``r'`` among the sampled clients and adds the resulting
+    vector into every matching accumulator row — the arithmetic is the
+    per-client reference's, executed once per distinct input instead
+    of once per client.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        mining_rounds: int,
+        num_popular: int,
+        num_clients: int,
+    ):
+        if mining_rounds < 1:
+            raise ValueError("mining_rounds must be >= 1")
+        if num_popular < 1:
+            raise ValueError("num_popular must be >= 1")
+        self.num_items = num_items
+        self.mining_rounds = mining_rounds
+        self.num_popular = min(num_popular, num_items)
+        self.accumulated = np.zeros((num_clients, num_items))
+        self.observations = np.zeros(num_clients, dtype=np.int64)
+        self.last_round = np.full(num_clients, -1, dtype=np.int64)
+        self.ready = np.zeros(num_clients, dtype=bool)
+        self.mined = np.full((num_clients, self.num_popular), -1, dtype=np.int64)
+        self._snapshots: dict[int, np.ndarray] = {}
+        self._refs: dict[int, int] = {}
+        #: Item-matrix copies taken so far — grows with *rounds*, not
+        #: with the team size (the bench's O(1)-copies assertion).
+        self.snapshot_copies = 0
+
+    @property
+    def all_ready(self) -> bool:
+        """Whether every client's popular set is frozen."""
+        return bool(self.ready.all())
+
+    def live_snapshots(self) -> int:
+        """How many round snapshots the ledger currently retains."""
+        return len(self._snapshots)
+
+    def observe(
+        self, rows: np.ndarray, item_matrix: np.ndarray, round_idx: int
+    ) -> None:
+        """Feed this round's item matrix to the sampled clients ``rows``.
+
+        Already-ready rows are skipped (their sets are frozen, exactly
+        like :meth:`PopularItemMiner.observe` returning early).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        rows = rows[~self.ready[rows]]
+        if not len(rows):
+            return
+        if item_matrix.shape[0] != self.num_items:
+            raise ValueError(
+                f"expected {self.num_items} items, got {item_matrix.shape[0]}"
+            )
+
+        # Algorithm 1 line 4: one Δ-Norm vector per distinct previous
+        # observation round, fancy-indexed into every matching row.
+        seen_before = rows[self.observations[rows] > 0]
+        prev_rounds = self.last_round[seen_before]
+        for prev in np.unique(prev_rounds).tolist():
+            matching = seen_before[prev_rounds == prev]
+            norms = np.linalg.norm(item_matrix - self._snapshots[prev], axis=1)
+            self.accumulated[matching] += norms
+            self._refs[prev] -= len(matching)
+
+        self.observations[rows] += 1
+        num_deltas = self.observations[rows] - 1
+        freezing = rows[num_deltas >= self.mining_rounds]
+        staying = rows[num_deltas < self.mining_rounds]
+
+        # Algorithm 1 line 3: one shared baseline copy for every client
+        # that still needs a next-round delta.
+        if len(staying):
+            if round_idx not in self._snapshots:
+                self._snapshots[round_idx] = item_matrix.copy()
+                self._refs[round_idx] = 0
+                self.snapshot_copies += 1
+            self._refs[round_idx] += len(staying)
+            self.last_round[staying] = round_idx
+
+        if len(freezing):
+            order = np.argsort(-self.accumulated[freezing], axis=1, kind="stable")
+            self.mined[freezing] = order[:, : self.num_popular]
+            self.ready[freezing] = True
+
+        for key in [k for k, refs in self._refs.items() if refs <= 0]:
+            del self._snapshots[key]
+            del self._refs[key]

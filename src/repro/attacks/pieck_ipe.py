@@ -4,16 +4,21 @@ After mining the popular set P, each malicious client aligns the
 embeddings of the target items with the mined popular items via the
 sign-partitioned, rank-weighted cosine loss of Eq. 8, and uploads the
 resulting embedding move as poisonous gradients for the targets only.
+
+The whole round is deterministic in ``(model, config, P)``: no
+per-client RNG, no warm-started state.  The cohort path exploits this
+by computing :meth:`PieckIPE._round_payload` once per *distinct* mined
+set and fanning the result out to every client that mined the same P
+— see :class:`~repro.attacks.cohort.MaliciousCohort`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
-from repro.attacks.mining import PopularItemMiner
+from repro.attacks.base import AttackPayload, PieckClient
+from repro.attacks.mining import RoundSnapshotCache
 from repro.config import AttackConfig, TrainConfig
-from repro.federated.payload import ClientUpdate
 from repro.metrics.divergence import softmax
 from repro.models.base import RecommenderModel
 
@@ -95,7 +100,7 @@ def ipe_loss_and_grad(
     return loss, grad
 
 
-class PieckIPE(MaliciousClient):
+class PieckIPE(PieckClient):
     """Algorithm 2: mine P, then upload popularity-enhancing gradients."""
 
     def __init__(
@@ -108,11 +113,9 @@ class PieckIPE(MaliciousClient):
         metric: str | None = None,
         use_weights: bool | None = None,
         use_partition: bool | None = None,
+        snapshots: RoundSnapshotCache | None = None,
     ):
-        super().__init__(user_id, targets, config)
-        self.miner = PopularItemMiner(
-            num_items, config.mining_rounds, config.num_popular
-        )
+        super().__init__(user_id, targets, config, num_items, snapshots=snapshots)
         # Keyword overrides win; otherwise the Table VI ablation
         # toggles come from the attack config itself.
         self.metric = config.ipe_metric if metric is None else metric
@@ -123,42 +126,30 @@ class PieckIPE(MaliciousClient):
             config.ipe_use_partition if use_partition is None else use_partition
         )
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
-        if not self.miner.ready:
-            self.miner.observe(model.item_embeddings)
-            if not self.miner.ready:
-                return None
-        popular_ids = self._popular_excluding_targets()
-        popular = model.item_embeddings[popular_ids]
-        reference_norm = float(np.mean(np.linalg.norm(popular, axis=1)))
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
+        popular_ids = self._popular_excluding_targets(popular)
+        popular_vecs = model.item_embeddings[popular_ids]
+        reference_norm = float(np.mean(np.linalg.norm(popular_vecs, axis=1)))
 
-        if self.config.multi_target_strategy == "one_then_copy":
-            trained = self.targets[:1]
-        else:
-            trained = self.targets
         deltas: list[np.ndarray] = []
-        for target in trained:
+        for target in self._targets_to_train():
             old = model.item_embeddings[target].copy()
-            new = self._optimise_target(old, popular)
+            new = self._optimise_target(old, popular_vecs)
             deltas.append(new - old)
-        if self.config.multi_target_strategy == "one_then_copy":
-            deltas = [deltas[0]] * len(self.targets)
+        deltas = self._expand_deltas(deltas)
 
         grads = self._target_step_gradients(
-            model, deltas, train_cfg.lr, reference_norm, scale
+            model, deltas, train_cfg.lr, reference_norm
         )
-        return self._make_update(self.targets, grads)
+        return AttackPayload(self.targets, grads)
 
     # ------------------------------------------------------------------
-
-    def _popular_excluding_targets(self) -> np.ndarray:
-        popular = self.miner.popular_items()
-        mask = ~np.isin(popular, self.targets)
-        filtered = popular[mask]
-        return filtered if len(filtered) else popular
 
     def _optimise_target(self, start: np.ndarray, popular: np.ndarray) -> np.ndarray:
         vec = start.copy()

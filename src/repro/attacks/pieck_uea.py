@@ -7,17 +7,25 @@ benign user embeddings in the promotion loss (Eq. 4 -> Eq. 10) and
 derives poisonous gradients for the target items through the model's
 interaction function. The approximating embeddings are constants —
 only target item gradients are uploaded.
+
+Unlike IPE, the UEA round is genuinely per-client: the inner
+optimisation draws pseudo-user batches from the client's private
+``(seed, "uea", user_id, round_idx)`` stream, and the ``"refined"``
+pseudo-user source keeps warm-started per-client fake profiles.  The
+cohort path therefore runs :meth:`PieckUEA._round_payload` per sampled
+client (with the mined set injected from its struct-of-arrays miner)
+and batches only the surrounding stages — mining, participation
+scaling, and the final target-step gradient stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import MaliciousClient
-from repro.attacks.mining import PopularItemMiner
+from repro.attacks.base import AttackPayload, PieckClient
+from repro.attacks.mining import RoundSnapshotCache
 from repro.attacks.refinement import PseudoUserRefiner
 from repro.config import AttackConfig, TrainConfig
-from repro.federated.payload import ClientUpdate
 from repro.models.base import RecommenderModel
 from repro.models.losses import sigmoid
 from repro.rng import spawn
@@ -25,7 +33,7 @@ from repro.rng import spawn
 __all__ = ["PieckUEA"]
 
 
-class PieckUEA(MaliciousClient):
+class PieckUEA(PieckClient):
     """Algorithm 3: mine P, approximate users with P, promote targets."""
 
     def __init__(
@@ -36,53 +44,39 @@ class PieckUEA(MaliciousClient):
         num_items: int,
         *,
         seed: int = 0,
+        snapshots: RoundSnapshotCache | None = None,
     ):
-        super().__init__(user_id, targets, config)
-        self.miner = PopularItemMiner(
-            num_items, config.mining_rounds, config.num_popular
-        )
+        super().__init__(user_id, targets, config, num_items, snapshots=snapshots)
         self._seed = seed
         self._num_items = num_items
         self._refiner: PseudoUserRefiner | None = None
 
-    def participate(
-        self, model: RecommenderModel, train_cfg: TrainConfig, round_idx: int
-    ) -> ClientUpdate | None:
-        scale = self._participation_scale(round_idx)
-        if not self.miner.ready:
-            self.miner.observe(model.item_embeddings)
-            if not self.miner.ready:
-                return None
-        popular_ids = self._popular_excluding_targets()
+    def _round_payload(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        round_idx: int,
+        popular: np.ndarray | None = None,
+    ) -> AttackPayload | None:
+        popular_ids = self._popular_excluding_targets(popular)
         pseudo_users = self._pseudo_users(model, popular_ids)
         reference_norm = float(np.mean(np.linalg.norm(pseudo_users, axis=1)))
         rng = spawn(self._seed, "uea", self.user_id, round_idx)
 
-        if self.config.multi_target_strategy == "one_then_copy":
-            trained = self.targets[:1]
-        else:
-            trained = self.targets
         popular_vecs = model.item_embeddings[popular_ids]
         deltas: list[np.ndarray] = []
-        for target in trained:
+        for target in self._targets_to_train():
             old = model.item_embeddings[target].copy()
             new = self._optimise_target(model, old, pseudo_users, popular_vecs, rng)
             deltas.append(new - old)
-        if self.config.multi_target_strategy == "one_then_copy":
-            deltas = [deltas[0]] * len(self.targets)
+        deltas = self._expand_deltas(deltas)
 
         grads = self._target_step_gradients(
-            model, deltas, train_cfg.lr, reference_norm, scale
+            model, deltas, train_cfg.lr, reference_norm
         )
-        return self._make_update(self.targets, grads)
+        return AttackPayload(self.targets, grads)
 
     # ------------------------------------------------------------------
-
-    def _popular_excluding_targets(self) -> np.ndarray:
-        popular = self.miner.popular_items()
-        mask = ~np.isin(popular, self.targets)
-        filtered = popular[mask]
-        return filtered if len(filtered) else popular
 
     def _pseudo_users(
         self, model: RecommenderModel, popular_ids: np.ndarray

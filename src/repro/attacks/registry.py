@@ -1,4 +1,15 @@
-"""Attack registry: build the malicious client population by name."""
+"""Attack registry: build the malicious client population by name.
+
+Construction is always per-object — every client's initialisation RNG
+draws (fake profiles, surrogate embeddings, masked priors) happen here
+exactly once, in client order — and the resulting homogeneous team can
+then be executed two ways: per-object ``participate`` calls (the
+reference loop engine), or adopted whole by a
+:class:`~repro.attacks.cohort.MaliciousCohort`
+(:func:`build_malicious_cohort`, the batch engine's default), which
+owns the team-level struct-of-arrays state while the attack math keeps
+running through the same objects.
+"""
 
 from __future__ import annotations
 
@@ -9,13 +20,20 @@ from repro.attacks.baselines.fedattack import FedAttack
 from repro.attacks.baselines.fedrecattack import FedRecAttack
 from repro.attacks.baselines.interaction import AHum, ARa
 from repro.attacks.baselines.pipattack import PipAttack
+from repro.attacks.cohort import MaliciousCohort
+from repro.attacks.mining import RoundSnapshotCache
 from repro.attacks.pieck_ipe import PieckIPE
 from repro.attacks.pieck_uea import PieckUEA
 from repro.config import AttackConfig
 from repro.datasets.base import InteractionDataset
 from repro.rng import spawn
 
-__all__ = ["ATTACK_NAMES", "build_malicious_clients", "num_malicious_for_ratio"]
+__all__ = [
+    "ATTACK_NAMES",
+    "build_malicious_clients",
+    "build_malicious_cohort",
+    "num_malicious_for_ratio",
+]
 
 #: All attacks runnable by name ("none" means no malicious users).
 ATTACK_NAMES = (
@@ -97,6 +115,14 @@ def build_malicious_clients(
     ``masked_prior`` selects the paper's fair-comparison mode (Table
     III) in which FedRecAttack's interactions and PipAttack's
     popularity levels are withheld from the attacker.
+
+    PIECK teams share one :class:`~repro.attacks.mining.
+    RoundSnapshotCache`: co-sampled miners retain a single copy of the
+    round's item matrix between them instead of one copy each.  To run
+    the team through the batched cohort path instead of per-object
+    ``participate`` calls, hand the returned list to
+    :func:`build_malicious_cohort` (or construct
+    :class:`~repro.attacks.cohort.MaliciousCohort` directly).
     """
     if name not in ATTACK_NAMES:
         raise ValueError(f"unknown attack {name!r}; expected one of {ATTACK_NAMES}")
@@ -104,6 +130,7 @@ def build_malicious_clients(
         return []
 
     rng = spawn(seed, "attack-build", name)
+    snapshots = RoundSnapshotCache() if name in ("pieck_ipe", "pieck_uea") else None
     clients: list[MaliciousClient] = []
     for index in range(num_malicious):
         user_id = first_user_id + index
@@ -119,10 +146,21 @@ def build_malicious_clients(
                 )
             )
         elif name == "pieck_ipe":
-            clients.append(PieckIPE(user_id, targets, config, dataset.num_items))
+            clients.append(
+                PieckIPE(
+                    user_id, targets, config, dataset.num_items, snapshots=snapshots
+                )
+            )
         elif name == "pieck_uea":
             clients.append(
-                PieckUEA(user_id, targets, config, dataset.num_items, seed=seed)
+                PieckUEA(
+                    user_id,
+                    targets,
+                    config,
+                    dataset.num_items,
+                    seed=seed,
+                    snapshots=snapshots,
+                )
             )
         elif name == "fedrecattack":
             known = _fedrec_known_interactions(dataset, masked_prior, rng)
@@ -175,3 +213,18 @@ def build_malicious_clients(
     for client in clients:
         client.team_size = len(clients)
     return clients
+
+
+def build_malicious_cohort(name: str, **kwargs) -> MaliciousCohort | None:
+    """Build the named attack team and wrap it in a batched cohort.
+
+    Accepts exactly the keyword arguments of
+    :func:`build_malicious_clients`; returns ``None`` for
+    ``name="none"`` or an empty team.  The cohort executes all sampled
+    clients of a round in one struct-of-arrays pass
+    (:meth:`~repro.attacks.cohort.MaliciousCohort.compute_uploads`)
+    and is bit-identical to driving the same clients through
+    ``participate`` one by one.
+    """
+    clients = build_malicious_clients(name, **kwargs)
+    return MaliciousCohort(clients) if clients else None

@@ -117,6 +117,13 @@ class AttackConfig:
     "multiple rounds in batches" refinement of the poisonous gradients
     (Section VI-F); the resulting embedding delta is uploaded as a
     gradient scaled by the known server learning rate.
+
+    Execution note: under ``engine="batch"`` the whole malicious team
+    runs as one struct-of-arrays
+    :class:`~repro.attacks.cohort.MaliciousCohort` — ``mining_rounds``
+    then drives the team's shared per-round observation ledger
+    (:class:`~repro.attacks.mining.CohortMiner`) rather than one
+    Δ-Norm tracker per client, bit-identically.
     """
 
     name: str = "pieck_uea"

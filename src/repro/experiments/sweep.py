@@ -63,7 +63,10 @@ __all__ = [
 #: Code-relevant version tag baked into every cache key.  Bump whenever
 #: a change alters what any cell computes (engine semantics, evaluation
 #: maths, cell-kind payload meaning) so stale caches self-invalidate.
-CACHE_VERSION = "sweep-v1"
+#: v2: attack target-step gradients moved to the stacked axis-norm
+#: kernel (stacked_step_gradients), which differs from the old per-
+#: target 1-D BLAS-dot norm in the last ulp when clipping fires.
+CACHE_VERSION = "sweep-v2"
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,17 @@ passes over all sampled participants at once:
    :class:`ClientUpdate` objects are materialised for any registry
    defense, filter, or audit configuration.
 
+The malicious half of the round runs through an attached
+:class:`~repro.attacks.cohort.MaliciousCohort` (the default for every
+batch-engine simulation with an attack): all sampled malicious
+clients' uploads are computed in one batched pass over the team's
+struct-of-arrays state and splice into the ``UpdateBatch`` as
+:class:`~repro.attacks.cohort.CohortUpload` views — again with no
+``ClientUpdate`` materialisation.  Without a cohort the engine falls
+back to the per-object ``participate`` loop, counted in
+``object_malicious_rounds`` so CI can assert the cohort path never
+silently degrades.
+
 Client state enters and leaves the round through a
 :class:`~repro.federated.state.ClientStateStore` when one is attached
 (the default for every simulation): participant embeddings are
@@ -64,6 +75,7 @@ exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -75,6 +87,9 @@ from repro.federated.server import Server
 from repro.federated.update_batch import UpdateBatch
 from repro.models.base import RecommenderModel, segment_starts
 from repro.rng import spawn_batch
+
+if TYPE_CHECKING:
+    from repro.attacks.cohort import CohortUpload
 
 __all__ = ["BatchClientEngine"]
 
@@ -110,6 +125,7 @@ class BatchClientEngine:
         seed: int,
         *,
         state=None,
+        cohort=None,
     ):
         self.model = model
         self.server = server
@@ -121,11 +137,21 @@ class BatchClientEngine:
         #: and scatters to; ``None`` selects the object-per-user
         #: fallback path.
         self.state = state
+        #: The team-level :class:`~repro.attacks.cohort.MaliciousCohort`
+        #: executing all sampled malicious clients per round in one
+        #: batched pass; ``None`` selects the per-object ``participate``
+        #: fallback loop.
+        self.cohort = cohort
         #: Rounds that ran on the object-per-user fallback (stacking
         #: ``BenignClient`` attributes row by row instead of indexing
         #: the store).  The state-scale CI smoke asserts this stays
         #: zero for store-backed simulations.
         self.stacked_rounds = 0
+        #: Rounds whose malicious participants ran through the
+        #: per-object ``participate`` loop instead of the cohort.  The
+        #: attack-scale CI smoke asserts this stays zero for
+        #: cohort-backed simulations.
+        self.object_malicious_rounds = 0
 
     # ------------------------------------------------------------------
     # Round execution
@@ -145,14 +171,32 @@ class BatchClientEngine:
             [u for u in sampled_list if u < num_benign], dtype=np.int64
         )
 
-        # Malicious participants run their own (already attacker-internal
-        # vectorised) logic; the global model is frozen within a round, so
-        # running them before the benign batch is order-equivalent to the
-        # interleaved reference loop.
-        malicious_by_pos: dict[int, ClientUpdate] = {}
-        for pos, user_id in enumerate(sampled_list):
-            if user_id >= num_benign:
-                update = self.malicious_clients[user_id - num_benign].participate(
+        # Malicious participants run before the benign tensor pass (the
+        # global model is frozen within a round, so this is
+        # order-equivalent to the interleaved reference loop): one
+        # batched cohort pass when a MaliciousCohort is attached
+        # (CohortUpload views), the per-object participate loop
+        # otherwise (materialised ClientUpdate objects).
+        malicious_by_pos: dict[int, "ClientUpdate | CohortUpload"] = {}
+        mal_positions = [
+            (pos, user_id - num_benign)
+            for pos, user_id in enumerate(sampled_list)
+            if user_id >= num_benign
+        ]
+        if mal_positions and self.cohort is not None:
+            uploads = self.cohort.compute_uploads(
+                self.model,
+                self.train_cfg,
+                round_idx,
+                np.array([row for _, row in mal_positions], dtype=np.int64),
+            )
+            for (pos, _), upload in zip(mal_positions, uploads):
+                if upload is not None:
+                    malicious_by_pos[pos] = upload
+        elif mal_positions:
+            self.object_malicious_rounds += 1
+            for pos, row in mal_positions:
+                update = self.malicious_clients[row].participate(
                     self.model, self.train_cfg, round_idx
                 )
                 if update is not None:
@@ -421,7 +465,7 @@ class BatchClientEngine:
         sampled_list: list[int],
         num_benign: int,
         benign_ids: np.ndarray,
-        malicious_by_pos: dict[int, ClientUpdate],
+        malicious_by_pos: dict[int, ClientUpdate | CohortUpload],
         batch: _RoundBatch,
     ) -> UpdateBatch:
         """Splice benign stacks and malicious uploads into one UpdateBatch.
@@ -433,6 +477,13 @@ class BatchClientEngine:
         handful of contiguous runs), keeping the batch's client order —
         and therefore every downstream float accumulation — exactly the
         reference engine's upload order.
+
+        ``malicious_by_pos`` values only need the upload attributes
+        (``user_id`` / ``item_ids`` / ``item_grads`` / ``param_grads``
+        / ``malicious``): the cohort path passes
+        :class:`~repro.attacks.cohort.CohortUpload` views into its
+        stacked round arrays, the fallback path real ``ClientUpdate``
+        objects.
         """
         num_params = len(self.model.interaction_params())
         if not malicious_by_pos:

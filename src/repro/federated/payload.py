@@ -13,7 +13,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ClientUpdate"]
+__all__ = ["ClientUpdate", "clip_scale"]
+
+
+def clip_scale(
+    item_grads: np.ndarray, param_grads: list[np.ndarray], max_norm: float
+) -> float | None:
+    """Uniform down-scale bringing a whole upload to ``max_norm``.
+
+    ``None`` means the upload is already within bounds (or clipping is
+    disabled) and must be passed through untouched.  This is the single
+    definition of the clip arithmetic — accumulation order included
+    (item block first, then each parameter block left to right) — used
+    by both :meth:`ClientUpdate.clipped` and the batched cohort path,
+    so the two cannot drift apart bit-wise.
+    """
+    if max_norm <= 0:
+        return None
+    total = float(np.sum(item_grads**2))
+    total += sum(float(np.sum(grad**2)) for grad in param_grads)
+    norm = float(np.sqrt(total))
+    if norm <= max_norm:
+        return None
+    return max_norm / norm
 
 
 @dataclass
@@ -58,10 +80,9 @@ class ClientUpdate:
 
     def clipped(self, max_norm: float) -> "ClientUpdate":
         """Copy of this update clipped to a maximum total L2 norm."""
-        norm = self.total_norm
-        if max_norm <= 0 or norm <= max_norm:
+        scale = clip_scale(self.item_grads, self.param_grads, max_norm)
+        if scale is None:
             return self
-        scale = max_norm / norm
         return ClientUpdate(
             user_id=self.user_id,
             item_ids=self.item_ids.copy(),

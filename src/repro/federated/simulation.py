@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attacks.base import select_target_items
+from repro.attacks.cohort import MaliciousCohort
 from repro.attacks.registry import build_malicious_clients, num_malicious_for_ratio
 from repro.config import AttackConfig, ExperimentConfig
 from repro.datasets.base import InteractionDataset
@@ -162,6 +163,18 @@ class FederatedSimulation:
         self._eval_negatives = sample_eval_negatives(
             self.dataset, config.train.eval_num_negatives, config.seed
         )
+        # Under the batch engine the whole malicious team is driven
+        # through one struct-of-arrays MaliciousCohort (vectorised
+        # participation counters, shared Δ-Norm observation ledger,
+        # stacked uploads); the loop engine keeps the per-object
+        # participate calls as the reference implementation.  The
+        # cohort adopts the same client objects, so they must not be
+        # driven via participate() while a batch simulation runs.
+        self.malicious_cohort = (
+            MaliciousCohort(self.malicious_clients)
+            if engine == "batch" and self.malicious_clients
+            else None
+        )
         self._batch_engine = (
             BatchClientEngine(
                 self.model,
@@ -171,6 +184,7 @@ class FederatedSimulation:
                 config.train,
                 config.seed,
                 state=self.state,
+                cohort=self.malicious_cohort,
             )
             if engine == "batch"
             else None

@@ -3,11 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.attacks.cohort import MaliciousCohort
 from repro.attacks.registry import (
     ATTACK_NAMES,
     build_malicious_clients,
+    build_malicious_cohort,
     num_malicious_for_ratio,
 )
+from repro.datasets.synthetic import generate_longtail_dataset
 from repro.config import AttackConfig, DefenseConfig
 from repro.defenses.registry import (
     DEFENSE_NAMES,
@@ -43,6 +46,31 @@ class TestMaliciousCount:
         with pytest.raises(ValueError):
             num_malicious_for_ratio(10, 1.0)
 
+    def test_ratio_to_zero_boundary(self):
+        """Exact 0.0 means no attackers; any positive ratio means >= 1.
+
+        The floor matters: ``round(num_benign * eps / (1 - eps))`` is 0
+        for tiny ratios, and a "3 in a thousand" sweep cell must still
+        inject one malicious client rather than silently running clean.
+        """
+        assert num_malicious_for_ratio(1_000_000, 0.0) == 0
+        assert num_malicious_for_ratio(10, 1e-9) == 1
+        assert num_malicious_for_ratio(1, 0.003) == 1
+        with pytest.raises(ValueError):
+            num_malicious_for_ratio(10, -0.003)
+
+    def test_large_population_no_overflow(self):
+        # A billion benign users at the paper's 5% p-tilde: the count
+        # stays an exact Python int (no float wraparound / negatives).
+        count = num_malicious_for_ratio(10**9, 0.05)
+        assert count == round(10**9 * 0.05 / 0.95)
+        assert count > 0
+        # Near the upper ratio boundary the count explodes but must
+        # remain finite, positive and monotone in the ratio.
+        high = num_malicious_for_ratio(1000, 0.999)
+        assert high == 999000
+        assert high > num_malicious_for_ratio(1000, 0.99)
+
 
 class TestAttackRegistry:
     def test_all_names_buildable(self, tiny_dataset):
@@ -60,6 +88,60 @@ class TestAttackRegistry:
                 assert clients == []
             else:
                 assert len(clients) == 2
+
+    def test_single_user_dataset_buildable(self):
+        """Every attack builds against a degenerate 1-user dataset.
+
+        Exercises the edge paths that read the benign population at
+        construction: FedRecAttack's known-user sample collapses to the
+        single user, PipAttack's popularity labels still cover the tiny
+        catalogue, and the PIECK miners accept the small item count.
+        """
+        dataset = generate_longtail_dataset(
+            num_users=1, num_items=12, num_interactions=6, seed=0, name="one"
+        )
+        for name in ATTACK_NAMES:
+            clients = build_malicious_clients(
+                name,
+                dataset=dataset,
+                config=AttackConfig(name=name),
+                targets=np.array([2]),
+                embedding_dim=4,
+                num_malicious=2,
+                first_user_id=1,
+            )
+            assert len(clients) == (0 if name == "none" else 2)
+
+    def test_cohort_construction_path(self, tiny_dataset):
+        """build_malicious_cohort mirrors build_malicious_clients."""
+        kwargs = dict(
+            dataset=tiny_dataset,
+            config=AttackConfig(name="pieck_ipe"),
+            targets=np.array([3]),
+            embedding_dim=4,
+            num_malicious=3,
+            first_user_id=tiny_dataset.num_users,
+        )
+        cohort = build_malicious_cohort("pieck_ipe", **kwargs)
+        assert isinstance(cohort, MaliciousCohort)
+        assert cohort.num_clients == 3
+        assert cohort.team_size == 3
+        assert cohort.miner is not None
+        assert build_malicious_cohort("none", **kwargs) is None
+
+    def test_pieck_team_shares_snapshot_cache(self, tiny_dataset):
+        clients = build_malicious_clients(
+            "pieck_uea",
+            dataset=tiny_dataset,
+            config=AttackConfig(name="pieck_uea"),
+            targets=np.array([3]),
+            embedding_dim=4,
+            num_malicious=3,
+            first_user_id=tiny_dataset.num_users,
+        )
+        caches = {id(client._snapshots) for client in clients}
+        assert len(caches) == 1
+        assert clients[0]._snapshots is not None
 
     def test_unknown_name_rejected(self, tiny_dataset):
         with pytest.raises(ValueError, match="unknown attack"):
