@@ -1,3 +1,11 @@
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The compiled kernel backend (REPRO_KERNELS=native / TrainConfig
+        # kernels="native") loads its C library through cffi; a C
+        # compiler (cc/gcc/clang) must be on PATH at first use.  The
+        # numpy reference backend needs neither.
+        "native": ["cffi"],
+    },
+)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.attacks.mining import PopularItemMiner, RoundSnapshotCache
 from repro.config import AttackConfig, TrainConfig
 from repro.federated.payload import ClientUpdate
@@ -304,23 +305,17 @@ def stacked_step_gradients(
     independently, so any row-wise restacking (per-target within one
     client, or all sampled clients' targets at once in the cohort
     path) produces identical values — the invariant the object/cohort
-    parity suite rests on.  Per-row norms use the axis-wise
-    multiply-and-reduce form (``sqrt(add.reduce(d*d))``), whose
-    blocking depends only on the row length — not NumPy's 1-D
-    ``linalg.norm`` BLAS-dot fast path, which is *not* bit-stable
-    against the stacked reduction.
+    parity suite rests on.  Dispatched through :mod:`repro.kernels`,
+    whose contract accumulates each row's squared components
+    sequentially over the feature axis — a per-row order independent
+    of the surrounding stack (unlike NumPy's 1-D ``linalg.norm``
+    BLAS-dot fast path) that the native port replays exactly.
     """
     if server_lr <= 0:
         raise ValueError("server learning rate must be positive")
-    deltas = new_rows - old_rows
-    if max_step > 0:
-        norms = np.linalg.norm(deltas, axis=1)
-        clipped = norms > max_step
-        if np.any(clipped):
-            # ``deltas`` is freshly allocated above — clip it in place.
-            deltas[clipped] = deltas[clipped] * (max_step / norms[clipped])[:, None]
-    shifted = old_rows + deltas
-    return (old_rows - shifted) / server_lr
+    return kernels.stacked_step_gradients(
+        old_rows, new_rows, server_lr, max_step
+    )
 
 
 def delta_as_gradient(old: np.ndarray, new: np.ndarray, server_lr: float) -> np.ndarray:

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = [
     "DeltaNormTracker",
     "PopularItemMiner",
@@ -77,7 +79,9 @@ class DeltaNormTracker:
                 f"expected {self.num_items} items, got {item_matrix.shape[0]}"
             )
         if self._last is not None:
-            self.accumulated += np.linalg.norm(item_matrix - self._last, axis=1)
+            # The per-item ||v_j^r - v_j^{r-1}|| vector is the dispatched
+            # row_diff_norms kernel (sequential per-row accumulation).
+            self.accumulated += kernels.row_diff_norms(item_matrix, self._last)
         self._last = item_matrix.copy() if snapshot is None else snapshot
         self.observations += 1
         self._order = None
@@ -259,7 +263,7 @@ class CohortMiner:
         prev_rounds = self.last_round[seen_before]
         for prev in np.unique(prev_rounds).tolist():
             matching = seen_before[prev_rounds == prev]
-            norms = np.linalg.norm(item_matrix - self._snapshots[prev], axis=1)
+            norms = kernels.row_diff_norms(item_matrix, self._snapshots[prev])
             self.accumulated[matching] += norms
             self._refs[prev] -= len(matching)
 

@@ -99,6 +99,14 @@ class TrainConfig:
     #: O(users x items)) with results independent of the block size;
     #: ``None`` picks a memory-bounded default from the catalogue size.
     eval_chunk_users: int | None = None
+    #: Kernel backend for the dispatched hot kernels
+    #: (:mod:`repro.kernels`): ``"numpy"`` (reference), ``"native"``
+    #: (compiled C, bit-identical by contract), or ``None`` to defer to
+    #: the ``REPRO_KERNELS`` environment variable.  A pure throughput
+    #: knob — results never depend on it, so sweep cache keys exclude
+    #: it.  Requesting ``"native"`` without the native toolchain raises
+    #: at simulation construction instead of silently falling back.
+    kernels: str | None = None
 
     @property
     def effective_client_lr(self) -> float:

@@ -17,13 +17,14 @@ the batched defended path hands it all touched items with the same
 contributor count at once as one ``(groups, n, dim)`` tensor, and the
 scalar ``aggregate`` routes through the identical kernel with a group
 axis of one.  The kernels use only lane-stable operations (per-lane
-sort/partition/median, sequential middle-axis reductions, non-BLAS
-einsum dot products), so each group's result is bit-identical to
-aggregating that item alone — the invariant the loop/batch engine
-parity suite rests on.  The Krum family shares one pairwise
-squared-distance routine; the distance matrix is computed once per
-grouped call and reused across Krum scoring, MultiKrum selection and
-Bulyan's select-then-trim stages instead of being rebuilt per item.
+sort/partition/median, sequential middle-axis reductions,
+sequentially-accumulated dot products), so each group's result is
+bit-identical to aggregating that item alone — the invariant the
+loop/batch engine parity suite rests on.  The Krum family shares one
+pairwise squared-distance routine dispatched through
+:mod:`repro.kernels`; the distance matrix is computed once per grouped
+call and reused across Krum scoring, MultiKrum selection and Bulyan's
+select-then-trim stages instead of being rebuilt per item.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.federated.aggregation import Aggregator
 from repro.federated.payload import ClientUpdate
 from repro.federated.update_batch import UpdateBatch
@@ -133,19 +135,17 @@ def _pairwise_sq_dists(flat: np.ndarray) -> np.ndarray:
     with ``inf`` on each diagonal (a gradient is never its own
     neighbour).  The single distance computation shared by the whole
     Krum family: each grouped call builds it exactly once and every
-    selection stage reads from it.  The batched ``np.matmul`` runs the
-    same BLAS GEMM on every ``(n, dim)`` slice, so each lane's
-    distances are bit-identical whether the item is aggregated alone
-    or inside a thousand-item group — the lane-stability property the
-    parity suite (``tests/test_batch_defended.py``) asserts per
-    contributor count.
+    selection stage reads from it.  Dispatched through
+    :mod:`repro.kernels`, whose contract accumulates every dot product
+    sequentially over the feature axis (replacing the earlier batched
+    BLAS GEMM, whose blocking no native port could reproduce bit for
+    bit).  The per-``d`` accumulation touches each lane independently,
+    so each lane's distances remain bit-identical whether the item is
+    aggregated alone or inside a thousand-item group — the
+    lane-stability property the parity suite
+    (``tests/test_batch_defended.py``) asserts per contributor count.
     """
-    dots = np.matmul(flat, flat.transpose(0, 2, 1))
-    sq_norms = np.einsum("gii->gi", dots)
-    dists = sq_norms[:, :, None] + sq_norms[:, None, :] - 2.0 * dots
-    n = flat.shape[1]
-    dists[:, np.arange(n), np.arange(n)] = np.inf
-    return dists
+    return kernels.pairwise_sq_dists(flat)
 
 
 def _krum_scores(dists: np.ndarray, num_malicious: int) -> np.ndarray:

@@ -66,7 +66,11 @@ __all__ = [
 #: v2: attack target-step gradients moved to the stacked axis-norm
 #: kernel (stacked_step_gradients), which differs from the old per-
 #: target 1-D BLAS-dot norm in the last ulp when clipping fires.
-CACHE_VERSION = "sweep-v2"
+#: v3: the kernel dispatch layer pinned sequential accumulation orders
+#: for the Krum-family pairwise distances (was batched BLAS GEMM) and
+#: the stacked/mining norms (was pairwise-blocked add.reduce), moving
+#: defended and attacked cells by last-ulp amounts.
+CACHE_VERSION = "sweep-v3"
 
 
 @dataclass(frozen=True)
@@ -223,15 +227,23 @@ def cell_cache_key(spec: CellSpec, dataset_fp: str) -> str:
     tag, the cell kind and engine, the full experiment config, the
     evaluation cutoffs, the kind payload and the dataset fingerprint.
     Any difference in any of them yields a different key.
+
+    ``train.kernels`` is deliberately *excluded*: the kernel backends
+    are bit-identical by contract (enforced by the differential parity
+    suite and the native tier-1 CI leg), so a cell's value cannot
+    depend on which backend computed it — and a numpy-run cache must
+    keep serving native-backend sweeps verbatim, and vice versa.
     """
     ks = spec.ks if spec.ks is not None else (spec.config.train.top_k,)
+    config_record = asdict(spec.config)
+    config_record["train"].pop("kernels", None)
     record = {
         "version": CACHE_VERSION,
         "kind": spec.kind,
         "engine": spec.engine,
         "ks": list(ks),
         "payload": list(spec.payload),
-        "config": asdict(spec.config),
+        "config": config_record,
         "dataset": dataset_fp,
     }
     blob = json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -79,6 +79,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import kernels
 from repro.config import TrainConfig
 from repro.datasets.sampling import sample_local_batches, sample_negatives_batch
 from repro.federated.client import BenignClient
@@ -126,6 +127,7 @@ class BatchClientEngine:
         *,
         state=None,
         cohort=None,
+        kernel_backend=None,
     ):
         self.model = model
         self.server = server
@@ -152,6 +154,16 @@ class BatchClientEngine:
         #: attack-scale CI smoke asserts this stays zero for
         #: cohort-backed simulations.
         self.object_malicious_rounds = 0
+        #: Resolved kernel backend (:func:`repro.kernels.resolve`) every
+        #: round runs under; ``None`` defers to the caller's dispatch
+        #: scope / the ``REPRO_KERNELS`` environment default per round.
+        self.kernel_backend = kernel_backend
+        #: Rounds in which the kernel backend served at least one
+        #: dispatched call through its numpy fallback (unsupported
+        #: dtype) — the same anti-fallback contract as the two counters
+        #: above: a native-backend run that quietly degrades must be
+        #: visible, and the native bench asserts this stays zero.
+        self.kernel_fallback_rounds = 0
 
     # ------------------------------------------------------------------
     # Round execution
@@ -164,7 +176,19 @@ class BatchClientEngine:
         return len(self.benign_clients)
 
     def run_round(self, round_idx: int, sampled: np.ndarray) -> None:
-        """Execute one communication round for the sampled user ids."""
+        """Execute one communication round for the sampled user ids.
+
+        The whole round runs inside the engine's kernel dispatch scope;
+        per-call numpy fallbacks of the active backend are snapshotted
+        across the round into ``kernel_fallback_rounds``.
+        """
+        with kernels.use(self.kernel_backend) as backend:
+            fallbacks_before = backend.fallback_calls
+            self._run_round(round_idx, sampled)
+            if backend.fallback_calls > fallbacks_before:
+                self.kernel_fallback_rounds += 1
+
+    def _run_round(self, round_idx: int, sampled: np.ndarray) -> None:
         num_benign = self.num_benign
         sampled_list = [int(user_id) for user_id in sampled]
         benign_ids = np.array(

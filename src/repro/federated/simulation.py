@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
 from repro.attacks.base import select_target_items
 from repro.attacks.cohort import MaliciousCohort
 from repro.attacks.registry import build_malicious_clients, num_malicious_for_ratio
@@ -103,6 +104,11 @@ class FederatedSimulation:
             )
         self.engine = engine
         self.config = config
+        # Resolve the kernel backend up front so a missing native
+        # toolchain fails at construction, not rounds into a run; every
+        # round and evaluation executes inside this backend's dispatch
+        # scope.
+        self.kernel_backend = kernels.resolve(config.train.kernels)
         self.dataset = dataset if dataset is not None else load_dataset(config.dataset)
         self.model = build_model(
             config.model.kind,
@@ -185,6 +191,7 @@ class FederatedSimulation:
                 config.seed,
                 state=self.state,
                 cohort=self.malicious_cohort,
+                kernel_backend=self.kernel_backend,
             )
             if engine == "batch"
             else None
@@ -218,9 +225,12 @@ class FederatedSimulation:
             self.total_users, self.config.train.users_per_round, round_idx
         )
         if self._batch_engine is not None:
+            # The engine scopes the round to its own (identical) backend
+            # and keeps the fallback accounting.
             self._batch_engine.run_round(round_idx, sampled)
         else:
-            self._run_round_loop(round_idx, sampled)
+            with kernels.use(self.kernel_backend):
+                self._run_round_loop(round_idx, sampled)
 
     def _run_round_loop(self, round_idx: int, sampled: np.ndarray) -> None:
         """Reference per-client round: one ``participate`` call per user.
@@ -332,6 +342,10 @@ class FederatedSimulation:
         row-wise; the final divisions see the same integer counts).
         """
         k = self.config.train.top_k if k is None else k
+        with kernels.use(self.kernel_backend):
+            return self._evaluate_scoped(k)
+
+    def _evaluate_scoped(self, k: int) -> tuple[float, float]:
         test_items = self.dataset.test_items
         er_hits = np.zeros(len(self.targets), dtype=np.int64)
         er_eligible = np.zeros(len(self.targets), dtype=np.int64)

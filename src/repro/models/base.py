@@ -17,6 +17,8 @@ from typing import Any
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = [
     "GradientBundle",
     "BatchStepResult",
@@ -43,18 +45,13 @@ def segment_sums(
     """Sum each client's contiguous row segment of a ragged stack.
 
     Equivalent to ``rows[start_k : start_k + lengths[k]].sum(axis=0)``
-    per client — and implemented exactly that way, because that is the
-    per-client reduction the loop engine performs; NumPy's sequential
-    outer-axis summation makes each segment's result bit-identical to
-    the reference regardless of what surrounds it.
+    per client, because that is the per-client reduction the loop
+    engine performs.  Dispatched through :mod:`repro.kernels`: both
+    backends accumulate each segment's rows sequentially in row order
+    (NumPy's outer-axis summation order), making each segment's result
+    bit-identical to the reference regardless of what surrounds it.
     """
-    out = np.empty((len(lengths), dim), dtype=rows.dtype)
-    reduce_rows = np.add.reduce  # what ndarray.sum(axis=0) calls, sans wrapper
-    start = 0
-    for index, length in enumerate(lengths.tolist()):
-        out[index] = reduce_rows(rows[start : start + length], axis=0)
-        start += length
-    return out
+    return kernels.segment_sums(rows, lengths, dim)
 
 
 @dataclass

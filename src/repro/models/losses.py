@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 __all__ = [
     "sigmoid",
     "log_sigmoid",
@@ -77,12 +79,11 @@ def bce_grad_segmented(
     with ``logits``.
     """
     probs = sigmoid(logits)
-    # Float divisors and exactly-cast 0/1 labels keep reduced-precision
-    # logit gradients at their own precision (int or float64 arrays
-    # would promote float32 to float64); both conversions are exact, so
-    # float64 results are unchanged.
-    divisors = np.repeat(np.maximum(lengths, 1), lengths).astype(probs.dtype)
-    return (probs - labels.astype(probs.dtype)) / divisors
+    # Exactly-cast 0/1 labels keep reduced-precision logit gradients at
+    # their own precision (int or float64 arrays would promote float32
+    # to float64); the per-segment division is the dispatched
+    # segment_div kernel, whose divisors are cast the same exact way.
+    return kernels.segment_div(probs - labels.astype(probs.dtype), lengths)
 
 
 def bpr_loss_and_grad(
@@ -118,8 +119,8 @@ def bpr_grad_segmented(
     """
     diff = pos_logits - neg_logits
     probs = sigmoid(diff)
-    # Float divisors, for the same dtype-preservation reason as in
-    # :func:`bce_grad_segmented`; exact conversion, float64 unchanged.
-    divisors = np.repeat(np.maximum(lengths, 1), lengths).astype(probs.dtype)
-    ddiff = (probs - 1.0) / divisors
+    # The per-segment division is the dispatched segment_div kernel,
+    # which casts the divisors to the gradient dtype for the same
+    # dtype-preservation reason as in :func:`bce_grad_segmented`.
+    ddiff = kernels.segment_div(probs - 1.0, lengths)
     return ddiff, -ddiff

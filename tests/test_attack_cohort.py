@@ -28,6 +28,10 @@ from repro.attacks.mining import (
     RoundSnapshotCache,
 )
 from repro.attacks.registry import build_malicious_clients, build_malicious_cohort
+
+# Cross-product parity sweeps (attack x model x ratio, end to end) are
+# the suite's slowest files; the marker lets CI legs split them off.
+pytestmark = pytest.mark.slow
 from repro.config import (
     AttackConfig,
     DatasetConfig,

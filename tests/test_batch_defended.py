@@ -37,6 +37,10 @@ from repro.federated.payload import ClientUpdate
 from repro.federated.simulation import FederatedSimulation
 from repro.federated.update_batch import UpdateBatch
 
+# Defense x model x attack cross-product sweeps, end to end — the
+# suite's other slowest file; the marker lets CI legs split them off.
+pytestmark = pytest.mark.slow
+
 ATTACKS = ("none", "pieck_uea", "pieck_ipe")
 
 #: (model kind, loss) variants of the sweep; BPR is the supplementary-E
