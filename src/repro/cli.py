@@ -30,6 +30,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import Callable, Sequence
@@ -88,6 +89,56 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+#: ``--faults`` spec keys → :class:`repro.config.FaultConfig` fields.
+#: Full field names are accepted too.
+_FAULT_KEYS = {
+    "dropout": "dropout_rate",
+    "straggler": "straggler_rate",
+    "delay": "straggler_max_delay",
+    "discount": "staleness_discount",
+    "corruption": "corruption_rate",
+    "mode": "corruption_mode",
+    "scale": "corruption_scale",
+    "quorum": "min_quorum",
+    "max-norm": "max_upload_norm",
+}
+
+
+def parse_fault_spec(spec: str):
+    """Parse a ``--faults`` key=value spec into a :class:`FaultConfig`."""
+    from repro.config import FaultConfig
+
+    fields = {f.name for f in dataclasses.fields(FaultConfig)}
+    kwargs = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"fault spec entry {part!r} is not key=value"
+            )
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        name = _FAULT_KEYS.get(key, key)
+        if name not in fields:
+            raise argparse.ArgumentTypeError(
+                f"unknown fault key {key!r} (choose from "
+                f"{', '.join(sorted(_FAULT_KEYS))})"
+            )
+        raw = raw.strip()
+        if name == "corruption_mode":
+            kwargs[name] = raw
+        elif name in ("straggler_max_delay", "min_quorum"):
+            kwargs[name] = int(raw)
+        else:
+            kwargs[name] = float(raw)
+    try:
+        return FaultConfig(**kwargs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +156,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--eval-every", type=int, default=0)
     run.add_argument("--save-result", metavar="PATH", default=None)
     run.add_argument("--save-model", metavar="PATH", default=None)
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault model as key=value pairs, e.g. "
+        "'dropout=0.2,straggler=0.1,corruption=0.05,mode=nan,quorum=8' "
+        f"(keys: {', '.join(sorted(_FAULT_KEYS))})",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="write an atomic rolling checkpoint here and resume from it",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=_non_negative_int,
+        default=10,
+        metavar="N",
+        help="rounds between checkpoints (with --checkpoint-dir; default 10)",
+    )
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore an existing checkpoint and restart from round 0",
+    )
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("id", choices=sorted(_TABLES, key=lambda x: int(x)))
@@ -135,6 +212,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="content-addressed result cache (enables skip/resume)",
+    )
+    sweep.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=2,
+        metavar="N",
+        help="pool respawns granted to crashed/stalled cells (default 2)",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare the pool hung after this long with no completion",
     )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -173,18 +264,35 @@ def _command_run(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         eval_every=args.eval_every,
     )
+    if args.faults:
+        config = dataclasses.replace(config, faults=parse_fault_spec(args.faults))
     sim = FederatedSimulation(config)
     print(
         f"Running {args.attack} vs {args.defense} on {args.dataset} "
         f"({args.model.upper()}-FRS, {sim.dataset.num_users} users, "
         f"{sim.dataset.num_items} items) ..."
     )
-    result = sim.run()
+    result = sim.run(
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=not args.fresh,
+    )
     for record in result.history:
         print(
             f"  round {record.round_idx:4d}: "
             f"ER@10 = {100 * record.exposure:6.2f}%  "
             f"HR@10 = {100 * record.hit_ratio:5.2f}%"
+        )
+    stats = result.fault_stats
+    if stats.any_fault:
+        print(
+            "faults: "
+            f"{stats.dropped_uploads} dropped, "
+            f"{stats.deferred_uploads} deferred "
+            f"({stats.stale_applied} applied stale, {stats.stale_pending} pending), "
+            f"{stats.corrupted_uploads} corrupted, "
+            f"{stats.rejected_uploads} rejected by the server gate, "
+            f"{stats.quorum_failed_rounds} rounds below quorum"
         )
     if args.save_result:
         from repro.persistence import save_result
@@ -249,7 +357,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(2)
     ids = list(args.ids) or sorted(_TABLES, key=lambda x: int(x))
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
-    runner = SweepRunner(workers=workers, cache_dir=args.cache_dir)
+    runner = SweepRunner(
+        workers=workers,
+        cache_dir=args.cache_dir,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+    )
     mode = f"{workers} workers" if workers >= 2 else "sequential"
     cache = args.cache_dir if args.cache_dir else "disabled"
     print(
@@ -263,6 +376,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"sweep finished: {stats.total} cells — "
         f"{stats.cache_hits} from cache, {stats.executed} executed"
     )
+    if stats.retries:
+        line += f", {stats.retries} retried after worker failures"
     if args.cache_dir:
         line += f" (cache hit ratio {100 * stats.hit_ratio:.0f}%)"
     print(line)

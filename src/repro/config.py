@@ -9,6 +9,8 @@ experiments:
 * :class:`AttackConfig` — attacker knobs shared by all attacks
   (Section III-B, IV);
 * :class:`DefenseConfig` — defense knobs (Section V);
+* :class:`FaultConfig` — failure-model knobs (client dropout,
+  stragglers, payload corruption, server quorum / sanity bounds);
 * :class:`ExperimentConfig` — one full experiment = all of the above.
 
 All dataclasses are frozen: configs are values, never mutated in place.
@@ -26,6 +28,7 @@ __all__ = [
     "TrainConfig",
     "AttackConfig",
     "DefenseConfig",
+    "FaultConfig",
     "ExperimentConfig",
     "replace",
 ]
@@ -237,6 +240,98 @@ class DefenseConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Failure-model knobs for the fault-tolerant federation runtime.
+
+    The default instance is the *zero-fault* configuration: no fault is
+    ever injected, no quorum is enforced, and the simulation is
+    bit-identical to a runtime without the fault layer (asserted by the
+    parity suites).  All faults are scheduled by a deterministic
+    :class:`~repro.federated.faults.FaultPlan` derived from the run's
+    seed with the same spawn discipline as the client RNG streams, so
+    the same seed always produces the same fault schedule.
+
+    Per sampled client each round, at most one fault fires:
+
+    * **dropout** (probability ``dropout_rate``) — the client trains
+      locally but its upload never reaches the server;
+    * **straggler** (probability ``straggler_rate``) — the upload is
+      deferred 1..``straggler_max_delay`` rounds and applied *stale*,
+      scaled by ``staleness_discount ** delay`` (a FedAsync-style
+      polynomial staleness discount);
+    * **corruption** (probability ``corruption_rate``) — the upload's
+      gradient rows are corrupted in transit per ``corruption_mode``:
+      ``"nan"`` / ``"inf"`` overwrite them with non-finite values (the
+      server sanity gate rejects these, counted), ``"overscale"``
+      multiplies them by ``corruption_scale`` (rejected only when
+      ``max_upload_norm`` is set).
+
+    Server-side degradation knobs:
+
+    * ``min_quorum`` — a round aggregates only when at least this many
+      uploads survive the sanity gate; otherwise the whole round is
+      skipped and counted in ``quorum_failed_rounds`` (0 disables);
+    * ``max_upload_norm`` — uploads whose total L2 norm exceeds this
+      bound are rejected by the sanity gate (0 disables).  The
+      non-finite gate needs no knob: it is always on.
+    """
+
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
+    #: Straggler delay is drawn uniformly from {1, ..., max_delay}.
+    straggler_max_delay: int = 2
+    #: Per-round-of-delay multiplier applied to a stale upload.
+    staleness_discount: float = 0.5
+    corruption_rate: float = 0.0
+    corruption_mode: str = "nan"  # "nan" | "inf" | "overscale"
+    corruption_scale: float = 1e6
+    min_quorum: int = 0
+    max_upload_norm: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "straggler_rate", "corruption_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        total = self.dropout_rate + self.straggler_rate + self.corruption_rate
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates must sum to at most 1.0, got {total}"
+            )
+        if self.straggler_max_delay < 1:
+            raise ValueError("straggler_max_delay must be >= 1")
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError("staleness_discount must be in (0, 1]")
+        if self.corruption_mode not in ("nan", "inf", "overscale"):
+            raise ValueError(
+                f"unknown corruption_mode {self.corruption_mode!r}; "
+                f"expected 'nan', 'inf' or 'overscale'"
+            )
+        if self.min_quorum < 0:
+            raise ValueError("min_quorum must be >= 0")
+        if self.max_upload_norm < 0:
+            raise ValueError("max_upload_norm must be >= 0")
+
+    @property
+    def injects_faults(self) -> bool:
+        """Whether any fault is ever injected (drives plan creation)."""
+        return (
+            self.dropout_rate > 0.0
+            or self.straggler_rate > 0.0
+            or self.corruption_rate > 0.0
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config departs from the ideal synchronous run."""
+        return (
+            self.injects_faults
+            or self.min_quorum > 0
+            or self.max_upload_norm > 0.0
+        )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """A complete experiment: dataset + model + training + attack + defense."""
 
@@ -245,4 +340,9 @@ class ExperimentConfig:
     train: TrainConfig = field(default_factory=TrainConfig)
     attack: AttackConfig | None = None
     defense: DefenseConfig = field(default_factory=DefenseConfig)
+    #: Failure model; the default is the zero-fault (ideal synchronous)
+    #: configuration, bit-identical to a runtime without the fault
+    #: layer.  Fault parameters affect results, so they enter the sweep
+    #: cache key (unlike ``train.kernels``).
+    faults: FaultConfig = field(default_factory=FaultConfig)
     seed: int = 0

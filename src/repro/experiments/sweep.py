@@ -35,9 +35,10 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -52,12 +53,15 @@ from repro.persistence import load_sweep_entry, save_sweep_entry
 __all__ = [
     "CACHE_VERSION",
     "CellSpec",
+    "CellFailure",
+    "SweepExecutionError",
     "SweepStats",
     "SweepRunner",
     "cells_from_values",
     "cell_cache_key",
     "dataset_fingerprint",
     "execute_cell",
+    "register_cell_kind",
 ]
 
 #: Code-relevant version tag baked into every cache key.  Bump whenever
@@ -70,7 +74,10 @@ __all__ = [
 #: for the Krum-family pairwise distances (was batched BLAS GEMM) and
 #: the stacked/mining norms (was pairwise-blocked add.reduce), moving
 #: defended and attacked cells by last-ulp amounts.
-CACHE_VERSION = "sweep-v3"
+#: v4: ExperimentConfig grew a FaultConfig (hashed via asdict like the
+#: rest of the config, so fault parameters enter every key); zero-fault
+#: values are unchanged but the key layout is not.
+CACHE_VERSION = "sweep-v4"
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,12 @@ class SweepStats:
     total: int = 0
     cache_hits: int = 0
     executed: int = 0
+    #: Cell executions resubmitted to a respawned pool after a worker
+    #: crash, a broken pool, or a completion timeout.
+    retries: int = 0
+    #: Cells that still had no result when ``max_retries`` ran out
+    #: (also enumerated on the raised :class:`SweepExecutionError`).
+    failed: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -115,6 +128,37 @@ class SweepStats:
             total=self.total + other.total,
             cache_hits=self.cache_hits + other.cache_hits,
             executed=self.executed + other.executed,
+            retries=self.retries + other.retries,
+            failed=self.failed + other.failed,
+        )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell the self-healing pool could not complete."""
+
+    index: int  # position in the submitted cell list
+    kind: str
+    attempts: int
+    error: str  # last failure observed for this cell
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised when cells remain unfinished after every retry.
+
+    Completed cells are already in the cache (entries are written the
+    moment each cell finishes), so rerunning the same sweep resumes
+    from them; ``failures`` lists exactly what is missing and why.
+    """
+
+    def __init__(self, failures: Sequence[CellFailure]):
+        self.failures = tuple(failures)
+        detail = "; ".join(
+            f"cell {f.index} ({f.kind}) after {f.attempts} attempts: {f.error}"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed permanently: {detail}"
         )
 
 
@@ -162,6 +206,20 @@ _CELL_KINDS = {
     "er_hr": _run_er_hr,
     "pkl_ucr": _run_pkl_ucr,
 }
+
+
+def register_cell_kind(
+    kind: str, executor: Callable[[CellSpec, InteractionDataset], Any]
+) -> None:
+    """Register a custom cell executor under ``kind``.
+
+    Pool workers see parent-registered kinds through the fork start
+    method (the Linux default); on spawn-based platforms custom kinds
+    must be registered at module import time so workers re-register
+    them.  Values returned by the executor must be JSON-serialisable
+    for the cache, like the built-in kinds.
+    """
+    _CELL_KINDS[kind] = executor
 
 
 def execute_cell(spec: CellSpec, dataset: InteractionDataset) -> Any:
@@ -288,13 +346,46 @@ class SweepRunner:
     interrupted sweep resumes from what it finished, and a repeated
     sweep is served from cache entirely.  ``last_stats`` /
     ``total_stats`` expose the hit/executed accounting.
+
+    The pooled path is **self-healing**: a worker crash (a killed
+    process breaks the whole ``ProcessPoolExecutor``) or a completion
+    stall longer than ``cell_timeout`` no longer kills the sweep.  The
+    incomplete cells are resubmitted on a freshly spawned pool, with
+    exponential backoff (``retry_backoff * 2**attempt`` seconds), up
+    to ``max_retries`` extra pool lifetimes; cells that still have no
+    result then are reported in a structured
+    :class:`SweepExecutionError`.  Determinism makes retrying free of
+    semantics: a cell's value never depends on which pool (or which
+    attempt) computed it.
     """
 
-    def __init__(self, *, workers: int = 0, cache_dir: str | None = None):
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        cache_dir: str | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        cell_timeout: float | None = None,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive")
         self.workers = workers
         self.cache_dir = cache_dir
+        #: Extra pool lifetimes granted to crashed/stalled cells.
+        self.max_retries = max_retries
+        #: Base of the exponential backoff between pool respawns.
+        self.retry_backoff = retry_backoff
+        #: Longest the pooled path waits for *any* cell completion
+        #: before declaring the pool hung and respawning it; ``None``
+        #: waits indefinitely.
+        self.cell_timeout = cell_timeout
         self.last_stats = SweepStats()
         self.total_stats = SweepStats()
         # Datasets this runner generated (and their fingerprints),
@@ -380,9 +471,10 @@ class SweepRunner:
                     continue
             pending.append((index, key))
 
+        retries = 0
         if pending:
             if self.workers >= 2 and len(pending) >= 2:
-                self._run_pool(cells, loaded, pending, results)
+                retries = self._run_pool(cells, loaded, pending, results, hits)
             else:
                 for index, key in pending:
                     spec = cells[index]
@@ -390,7 +482,10 @@ class SweepRunner:
                     self._store(key, spec, results[index])
 
         self.last_stats = SweepStats(
-            total=len(cells), cache_hits=hits, executed=len(pending)
+            total=len(cells),
+            cache_hits=hits,
+            executed=len(pending),
+            retries=retries,
         )
         self.total_stats = self.total_stats.merged(self.last_stats)
         return results
@@ -401,25 +496,134 @@ class SweepRunner:
         loaded: dict[str, InteractionDataset],
         pending: list[tuple[int, str | None]],
         results: list[Any],
-    ) -> None:
-        """Run pending cells on a process pool, caching as they finish."""
+        hits: int,
+    ) -> int:
+        """Run pending cells on a pool, respawning it on crashes.
+
+        One pool lifetime per attempt: every cell still missing a
+        result is (re)submitted, completions are cached the moment
+        they land, and whatever crashed or stalled rolls over to the
+        next attempt after an exponential backoff.  Returns the total
+        number of resubmitted cell executions; raises
+        :class:`SweepExecutionError` (with ``last_stats`` already
+        recorded) once ``max_retries`` pool lifetimes have not been
+        enough.
+        """
         needed = {cells[index].dataset_key for index, _ in pending}
         payload = pickle.dumps(
             {key: loaded[key] for key in needed},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(
+        remaining = list(pending)
+        last_errors: dict[int, str] = {}
+        retries = 0
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                retries += len(remaining)
+                delay = self.retry_backoff * (2 ** (attempt - 1))
+                if delay:
+                    time.sleep(delay)
+            remaining = self._pool_attempt(
+                cells, payload, remaining, results, last_errors
+            )
+            if not remaining:
+                return retries
+        failures = [
+            CellFailure(
+                index=index,
+                kind=cells[index].kind,
+                attempts=self.max_retries + 1,
+                error=last_errors.get(index, "unknown failure"),
+            )
+            for index, _ in remaining
+        ]
+        self.last_stats = SweepStats(
+            total=len(results),
+            cache_hits=hits,
+            executed=len(pending),
+            retries=retries,
+            failed=len(failures),
+        )
+        self.total_stats = self.total_stats.merged(self.last_stats)
+        raise SweepExecutionError(failures)
+
+    def _pool_attempt(
+        self,
+        cells: list[CellSpec],
+        payload: bytes,
+        remaining: list[tuple[int, str | None]],
+        results: list[Any],
+        last_errors: dict[int, str],
+    ) -> list[tuple[int, str | None]]:
+        """One pool lifetime; returns the cells that still need a run.
+
+        A single dead worker breaks the whole ``ProcessPoolExecutor``
+        (every outstanding future resolves to ``BrokenProcessPool``),
+        so anything unfinished when that happens simply rolls over.  A
+        stall — ``cell_timeout`` elapsing with *zero* completions — is
+        treated the same way, with the hung workers terminated so the
+        respawned pool does not compete with them for cores.
+        """
+        workers = min(self.workers, len(remaining))
+        crashed: list[tuple[int, str | None]] = []
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_initializer,
             initargs=(payload,),
-        ) as pool:
+        )
+        try:
             futures = {
                 pool.submit(_pool_execute, index, cells[index]): (index, key)
-                for index, key in pending
+                for index, key in remaining
             }
-            for future in as_completed(futures):
-                _, key = futures[future]
-                index, values = future.result()
-                results[index] = values
-                self._store(key, cells[index], values)
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding,
+                    timeout=self.cell_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # cell_timeout with no completion at all: the pool
+                    # is hung.  Kill it and roll everything over.
+                    for future in outstanding:
+                        index, key = futures[future]
+                        last_errors[index] = (
+                            f"no completion within {self.cell_timeout}s; "
+                            "pool presumed hung"
+                        )
+                        crashed.append((index, key))
+                    self._terminate_workers(pool)
+                    break
+                for future in done:
+                    index, key = futures[future]
+                    try:
+                        _, values = future.result()
+                    except Exception as exc:  # noqa: BLE001 — any worker
+                        # death surfaces here (BrokenProcessPool for
+                        # crashes, the cell's own exception otherwise).
+                        last_errors[index] = f"{type(exc).__name__}: {exc}"
+                        crashed.append((index, key))
+                    else:
+                        results[index] = values
+                        self._store(key, cells[index], values)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return crashed
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Force-kill a hung pool's worker processes.
+
+        ``shutdown`` alone would leave hung workers running (it only
+        refuses new work); terminating them is the only way a stalled
+        attempt actually releases its cores.  ``_processes`` is
+        CPython's internal table — guarded so a future rename degrades
+        to a plain shutdown instead of an error.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — already-dead workers
+                pass

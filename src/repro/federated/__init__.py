@@ -11,6 +11,12 @@ from repro.federated.aggregation import Aggregator, SumAggregator, scatter_sum
 from repro.federated.audit import ItemRoundRecord, ServerAuditLog
 from repro.federated.batch_engine import BatchClientEngine
 from repro.federated.client import BenignClient
+from repro.federated.faults import (
+    FaultController,
+    FaultPlan,
+    FaultStats,
+    StalenessBuffer,
+)
 from repro.federated.payload import ClientUpdate
 from repro.federated.server import Server
 from repro.federated.simulation import EvalRecord, FederatedSimulation, SimulationResult
@@ -28,6 +34,10 @@ __all__ = [
     "ClientStateStore",
     "ClientViewList",
     "Server",
+    "FaultController",
+    "FaultPlan",
+    "FaultStats",
+    "StalenessBuffer",
     "FederatedSimulation",
     "SimulationResult",
     "EvalRecord",

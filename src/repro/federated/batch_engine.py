@@ -128,6 +128,7 @@ class BatchClientEngine:
         state=None,
         cohort=None,
         kernel_backend=None,
+        fault_controller=None,
     ):
         self.model = model
         self.server = server
@@ -164,6 +165,13 @@ class BatchClientEngine:
         #: above: a native-backend run that quietly degrades must be
         #: visible, and the native bench asserts this stays zero.
         self.kernel_fallback_rounds = 0
+        #: Optional :class:`~repro.federated.faults.FaultController`
+        #: transforming each assembled round batch (dropout /
+        #: straggler / corruption injection plus stale-upload splicing)
+        #: before the server sees it; ``None`` — the default — skips
+        #: the hook entirely, keeping the ideal-synchronous path
+        #: bit-identical and overhead-free.
+        self.fault_controller = fault_controller
 
     # ------------------------------------------------------------------
     # Round execution
@@ -230,6 +238,13 @@ class BatchClientEngine:
         round_batch = self._assemble(
             sampled_list, num_benign, benign_ids, malicious_by_pos, batch
         )
+        if self.fault_controller is not None:
+            # Transport faults strike between upload and aggregation:
+            # local training above already happened (dropped clients'
+            # private state advanced), only the server's view changes.
+            round_batch = self.fault_controller.apply_to_batch(
+                round_batch, sampled_list, round_idx
+            )
         self.server.apply_batch(round_batch)
 
     # ------------------------------------------------------------------

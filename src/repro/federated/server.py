@@ -55,6 +55,8 @@ class Server:
         update_filter: UpdateFilter | None = None,
         audit_log: ServerAuditLog | None = None,
         seed: int = 0,
+        min_quorum: int = 0,
+        max_upload_norm: float = 0.0,
     ):
         self.model = model
         self.lr = lr
@@ -62,12 +64,40 @@ class Server:
         self.update_filter = update_filter
         self.audit_log = audit_log
         self._seed = seed
+        #: Minimum accepted uploads a round needs to be aggregated at
+        #: all; a round below quorum is skipped entirely (counted in
+        #: ``quorum_failed_rounds``) rather than letting a handful of
+        #: survivors take an outsized model step.  0 disables the check.
+        self.min_quorum = min_quorum
+        #: Whole-upload L2 norm ceiling enforced by the sanity gate
+        #: (0 disables).  Unlike the NormBound *defense*, which clips
+        #: and keeps, the gate *rejects*: a transport-corrupted upload
+        #: is garbage, not a large-but-honest gradient.
+        self.max_upload_norm = max_upload_norm
         #: Rounds :meth:`apply_batch` had to materialise per-client
         #: updates because a component lacks a batched protocol (a
         #: custom update filter without ``filter_batch``). The
         #: defended-throughput CI smoke asserts this stays zero for
         #: every registry defense.
         self.materialized_rounds = 0
+        #: Uploads rejected by the always-on sanity gate because they
+        #: carried non-finite gradient values (an attacker — or a
+        #: corrupted transport — sending a single NaN row would
+        #: otherwise poison the aggregate irrecoverably under plain
+        #: FedAvg: NaN propagates through every future round).
+        self.rejected_nonfinite = 0
+        #: Uploads rejected for exceeding ``max_upload_norm``.
+        self.rejected_oversized = 0
+        #: Rounds skipped because fewer than ``min_quorum`` uploads
+        #: survived the sanity gate.
+        self.quorum_failed_rounds = 0
+        #: Uploads discarded by those skipped rounds.
+        self.quorum_dropped_uploads = 0
+
+    @property
+    def rejected_uploads(self) -> int:
+        """Total uploads rejected by the sanity gate."""
+        return self.rejected_nonfinite + self.rejected_oversized
 
     def sample_users(self, num_users_total: int, batch: int, round_idx: int) -> np.ndarray:
         """Uniformly sample the participant set U_r for a round."""
@@ -77,12 +107,15 @@ class Server:
 
     def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
         """Aggregate uploads and take one SGD step on the global model."""
-        if not updates:
-            return
-        if self.audit_log is not None:
+        if self.audit_log is not None and updates:
             # Log the raw uploads, before any defense filter touches
             # them, so the record reflects what clients actually sent.
             self.audit_log.record(updates)
+        updates = self._gate_updates(updates)
+        if self._below_quorum(len(updates)):
+            return
+        if not updates:
+            return
         if self.update_filter is not None:
             updates = self.update_filter(updates)
 
@@ -149,12 +182,15 @@ class Server:
         this round back to the materialised reference path (counted in
         ``materialized_rounds``).
         """
-        if batch.num_clients == 0:
-            return
-        if self.audit_log is not None:
+        if self.audit_log is not None and batch.num_clients:
             # Raw uploads, before any defense filter — same contract
             # as apply_updates.
             self.audit_log.record_batch(batch)
+        batch = self._gate_batch(batch)
+        if self._below_quorum(batch.num_clients):
+            return
+        if batch.num_clients == 0:
+            return
         if self.update_filter is not None:
             filter_batch = getattr(self.update_filter, "filter_batch", None)
             if filter_batch is None:
@@ -174,6 +210,96 @@ class Server:
         else:
             self._apply_item_batch_grouped(batch)
         self._apply_param_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Sanity gate + quorum (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def _below_quorum(self, accepted: int) -> bool:
+        """True (and counted) if the round must be skipped for quorum."""
+        if self.min_quorum > 0 and accepted < self.min_quorum:
+            self.quorum_failed_rounds += 1
+            self.quorum_dropped_uploads += accepted
+            return True
+        return False
+
+    def _gate_batch(self, batch: UpdateBatch) -> UpdateBatch:
+        """Reject non-finite and oversized uploads from a round batch.
+
+        The non-finite check is always on — a single NaN row reaching
+        ``scatter_sum`` poisons the embedding table for every future
+        round.  A clean round (the overwhelmingly common case) takes
+        one vectorised ``isfinite`` reduction and returns the batch
+        unchanged, same object, zero copies — keeping the batched path
+        bit-identical to the ungated engine.
+
+        Rejection is per *client*: one bad row discards that client's
+        whole upload (items and parameters), exactly like the
+        materialised path in :meth:`_gate_updates` — the parity suites
+        cover faulted rounds on both engines.
+        """
+        if batch.num_clients == 0:
+            return batch
+        # One-pass screen: a sum is non-finite iff some element is (a
+        # finite-overflow inf only sends us down the slow path, which
+        # then finds nothing to reject) — no size-of-batch bool
+        # temporary on the clean-round fast path.
+        all_finite = bool(np.isfinite(batch.item_grads.sum())) and all(
+            bool(np.isfinite(stack.sum())) for stack in batch.param_stacks
+        )
+        if all_finite and not self.max_upload_norm > 0:
+            return batch
+        keep = np.ones(batch.num_clients, dtype=bool)
+        if not all_finite:
+            row_bad = ~np.isfinite(batch.item_grads).all(axis=1)
+            if row_bad.any():
+                bad_counts = np.bincount(
+                    batch.row_owners()[row_bad], minlength=batch.num_clients
+                )
+                keep &= bad_counts == 0
+            for j, owner in enumerate(batch.param_owners):
+                if keep[int(owner)] and any(
+                    not np.isfinite(stack[j]).all() for stack in batch.param_stacks
+                ):
+                    keep[int(owner)] = False
+            self.rejected_nonfinite += int((~keep).sum())
+        if self.max_upload_norm > 0:
+            # Non-finite clients are already gone from `keep`; their NaN
+            # norms never reach the comparison.
+            oversized = keep & (batch.client_total_norms() > self.max_upload_norm)
+            self.rejected_oversized += int(oversized.sum())
+            keep &= ~oversized
+        return batch.select_clients(keep)
+
+    def _gate_updates(
+        self, updates: Sequence[ClientUpdate]
+    ) -> Sequence[ClientUpdate]:
+        """Materialised-path twin of :meth:`_gate_batch`.
+
+        Same per-client accept/reject decisions and the same counters,
+        so the loop engine stays bit-identical to the batch engine
+        under faults.  Returns the input sequence unchanged when every
+        upload passes.
+        """
+        keep = []
+        rejected = False
+        for update in updates:
+            finite = bool(np.isfinite(update.item_grads).all()) and all(
+                bool(np.isfinite(grad).all()) for grad in update.param_grads
+            )
+            if not finite:
+                self.rejected_nonfinite += 1
+                rejected = True
+                continue
+            if (
+                self.max_upload_norm > 0
+                and update.total_norm > self.max_upload_norm
+            ):
+                self.rejected_oversized += 1
+                rejected = True
+                continue
+            keep.append(update)
+        return keep if rejected else updates
 
     # ------------------------------------------------------------------
     # Internals

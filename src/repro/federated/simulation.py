@@ -35,6 +35,10 @@ regardless of the user count.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -50,6 +54,7 @@ from repro.datasets.loaders import load_dataset
 from repro.defenses.registry import build_server_defense, client_regularizer_factory
 from repro.federated.audit import ServerAuditLog
 from repro.federated.batch_engine import BatchClientEngine
+from repro.federated.faults import FaultController, FaultStats
 from repro.federated.server import Server
 from repro.federated.state import ClientStateStore, ClientViewList
 from repro.metrics.ranking import (
@@ -85,6 +90,9 @@ class SimulationResult:
     history: list[EvalRecord] = field(default_factory=list)
     item_history: list[np.ndarray] = field(default_factory=list)
     seconds_per_round: float = 0.0
+    #: Fault/mitigation accounting of the run — all-zero (and
+    #: ``not fault_stats.any_fault``) for an ideal-synchronous run.
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
 
 class FederatedSimulation:
@@ -165,6 +173,18 @@ class FederatedSimulation:
             update_filter=update_filter,
             audit_log=self.audit_log,
             seed=config.seed,
+            min_quorum=config.faults.min_quorum,
+            max_upload_norm=config.faults.max_upload_norm,
+        )
+        # One fault controller per simulation, shared by both engines:
+        # its plan is a pure function of (seed, round), its staleness
+        # buffer the only cross-round fault state.  A config that
+        # injects nothing builds no controller — the ideal-synchronous
+        # path stays exactly the pre-fault engine.
+        self.fault_controller = (
+            FaultController(config.faults, config.seed)
+            if config.faults.injects_faults
+            else None
         )
         self._eval_negatives = sample_eval_negatives(
             self.dataset, config.train.eval_num_negatives, config.seed
@@ -192,6 +212,7 @@ class FederatedSimulation:
                 state=self.state,
                 cohort=self.malicious_cohort,
                 kernel_backend=self.kernel_backend,
+                fault_controller=self.fault_controller,
             )
             if engine == "batch"
             else None
@@ -252,6 +273,10 @@ class FederatedSimulation:
                 )
             if update is not None:
                 updates.append(update)
+        if self.fault_controller is not None:
+            updates = self.fault_controller.apply_to_updates(
+                updates, [int(u) for u in sampled], round_idx
+            )
         self.server.apply_updates(updates)
 
     def run(
@@ -260,20 +285,68 @@ class FederatedSimulation:
         *,
         record_item_history: bool = False,
         history_stride: int = 1,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = True,
     ) -> SimulationResult:
-        """Train for ``rounds`` rounds, evaluating per the train config."""
+        """Train for ``rounds`` rounds, evaluating per the train config.
+
+        With ``checkpoint_dir`` set, the run writes an atomic rolling
+        checkpoint (``checkpoint.pkl``) every ``checkpoint_every``
+        rounds and — when ``resume`` is true and one exists — picks up
+        from it instead of round 0.  The resume contract is
+        bit-identity: a run resumed at round ``r`` produces exactly
+        the model, metrics and fault accounting of the uninterrupted
+        run (everything per-round is derived statelessly from the
+        seed, so restoring the mutable arrays restores the
+        trajectory).  Only ``seconds_per_round`` — wall-clock over the
+        rounds this process actually executed — is exempt.  The
+        simulation must be constructed from the same config, dataset
+        and engine that wrote the checkpoint (enforced via a config
+        digest and the target-item set).
+        """
         train_cfg = self.config.train
         rounds = train_cfg.rounds if rounds is None else rounds
         history: list[EvalRecord] = []
         item_history: list[np.ndarray] = []
+        start_round = 0
+        checkpoint_path = None
+        if checkpoint_dir is not None:
+            from repro import persistence
+
+            checkpoint_path = os.path.join(checkpoint_dir, "checkpoint.pkl")
+            if resume and os.path.exists(checkpoint_path):
+                payload = persistence.load_checkpoint(checkpoint_path)
+                start_round, history, item_history = self.restore_checkpoint(
+                    payload
+                )
         started = time.perf_counter()
-        for round_idx in range(rounds):
+        executed = 0
+        for round_idx in range(start_round, rounds):
             if record_item_history and round_idx % history_stride == 0:
                 item_history.append(self.model.snapshot_items())
             self.run_round(round_idx)
+            executed += 1
             if train_cfg.eval_every and (round_idx + 1) % train_cfg.eval_every == 0:
                 exposure, hit_ratio = self.evaluate()
                 history.append(EvalRecord(round_idx + 1, exposure, hit_ratio))
+            if (
+                checkpoint_path is not None
+                and checkpoint_every
+                and (round_idx + 1) % checkpoint_every == 0
+                # Skip the write only when nothing is left to resume:
+                # a partial run (rounds below the configured schedule)
+                # checkpoints its stopping point so a later run picks
+                # up there instead of replaying from the previous
+                # boundary.
+                and round_idx + 1 < max(rounds, train_cfg.rounds)
+            ):
+                from repro import persistence
+
+                persistence.save_checkpoint(
+                    checkpoint_path,
+                    self.checkpoint_payload(round_idx + 1, history, item_history),
+                )
         elapsed = time.perf_counter() - started
         if record_item_history:
             item_history.append(self.model.snapshot_items())
@@ -294,7 +367,144 @@ class FederatedSimulation:
             rounds_run=rounds,
             history=history,
             item_history=item_history,
-            seconds_per_round=elapsed / max(rounds, 1),
+            seconds_per_round=elapsed / max(executed, 1),
+            fault_stats=self.fault_stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def _config_digest(self) -> str:
+        """Content hash binding a checkpoint to its experiment config."""
+        blob = json.dumps(
+            dataclasses.asdict(self.config), sort_keys=True, default=str
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def checkpoint_payload(
+        self,
+        next_round: int,
+        history: list[EvalRecord] | None = None,
+        item_history: list[np.ndarray] | None = None,
+    ) -> dict:
+        """Assemble the full mutable state of the run at a round boundary.
+
+        Everything a resumed process cannot re-derive goes in: global
+        model parameters, the client store's private embeddings and
+        materialised defense regularizers (their observed state), the
+        adversary objects (mining trackers, participation counters —
+        pickled as one graph so the cohort keeps adopting the same
+        client objects), server/engine counters, the staleness buffer
+        and fault counters, and the metric history so far.  Notably
+        *absent*: RNG state — every stream is spawned statelessly from
+        ``(seed, labels, round)``, so determinism survives the process
+        boundary for free.
+        """
+        engine = self._batch_engine
+        return {
+            "config_digest": self._config_digest(),
+            "engine": self.engine,
+            "next_round": int(next_round),
+            "targets": self.targets.copy(),
+            "model_items": self.model.item_embeddings.copy(),
+            "model_params": [p.copy() for p in self.model.interaction_params()],
+            "user_embeddings": self.state.user_embeddings.copy(),
+            "regularizers": self.state._regularizers,
+            "adversary": (self.malicious_clients, self.malicious_cohort),
+            # The server's log is the authoritative one: it is the
+            # object that records, whether it was attached via
+            # ``audit=True`` or assigned to the server directly.
+            "audit_log": self.server.audit_log,
+            "server_counters": {
+                "materialized_rounds": self.server.materialized_rounds,
+                "rejected_nonfinite": self.server.rejected_nonfinite,
+                "rejected_oversized": self.server.rejected_oversized,
+                "quorum_failed_rounds": self.server.quorum_failed_rounds,
+                "quorum_dropped_uploads": self.server.quorum_dropped_uploads,
+            },
+            "engine_counters": {
+                "stacked_rounds": engine.stacked_rounds,
+                "object_malicious_rounds": engine.object_malicious_rounds,
+                "kernel_fallback_rounds": engine.kernel_fallback_rounds,
+            }
+            if engine is not None
+            else None,
+            "fault_state": self.fault_controller.state()
+            if self.fault_controller is not None
+            else None,
+            "history": list(history or []),
+            "item_history": list(item_history or []),
+        }
+
+    def restore_checkpoint(
+        self, payload: dict
+    ) -> tuple[int, list[EvalRecord], list[np.ndarray]]:
+        """Restore a :meth:`checkpoint_payload` into this simulation.
+
+        The simulation must have been constructed exactly like the one
+        that checkpointed: same config (hash-checked), same dataset
+        (target-set-checked — targets are a function of the dataset's
+        popularity profile), same engine.  Returns
+        ``(next_round, history, item_history)`` for the training loop.
+        """
+        if payload["config_digest"] != self._config_digest():
+            raise ValueError(
+                "checkpoint was written by a different experiment config"
+            )
+        if payload["engine"] != self.engine:
+            raise ValueError(
+                f"checkpoint was written by the {payload['engine']!r} engine, "
+                f"this simulation runs {self.engine!r}"
+            )
+        if not np.array_equal(payload["targets"], self.targets):
+            raise ValueError(
+                "checkpoint target items do not match; was the simulation "
+                "built from a different dataset?"
+            )
+        self.model.item_embeddings[...] = payload["model_items"]
+        for param, saved in zip(
+            self.model.interaction_params(), payload["model_params"]
+        ):
+            param[...] = saved
+        self.state.user_embeddings[...] = payload["user_embeddings"]
+        self.state._regularizers = payload["regularizers"]
+        clients, cohort = payload["adversary"]
+        self.malicious_clients = clients
+        self.malicious_cohort = cohort
+        if payload["audit_log"] is not None:
+            self.audit_log = payload["audit_log"]
+            self.server.audit_log = self.audit_log
+        for name, value in payload["server_counters"].items():
+            setattr(self.server, name, value)
+        engine = self._batch_engine
+        if engine is not None:
+            engine.malicious_clients = clients
+            engine.cohort = cohort
+            if payload["engine_counters"] is not None:
+                for name, value in payload["engine_counters"].items():
+                    setattr(engine, name, value)
+        if payload["fault_state"] is not None and self.fault_controller is not None:
+            self.fault_controller.restore(payload["fault_state"])
+        return (
+            payload["next_round"],
+            list(payload["history"]),
+            list(payload["item_history"]),
+        )
+
+    def fault_stats(self) -> FaultStats:
+        """Current fault/mitigation accounting (controller + server)."""
+        controller = self.fault_controller
+        return FaultStats(
+            dropped_uploads=controller.dropped_uploads if controller else 0,
+            deferred_uploads=controller.deferred_uploads if controller else 0,
+            stale_applied=controller.stale_applied if controller else 0,
+            stale_pending=controller.buffer.pending if controller else 0,
+            corrupted_uploads=controller.corrupted_uploads if controller else 0,
+            rejected_nonfinite=self.server.rejected_nonfinite,
+            rejected_oversized=self.server.rejected_oversized,
+            quorum_failed_rounds=self.server.quorum_failed_rounds,
+            quorum_dropped_uploads=self.server.quorum_dropped_uploads,
         )
 
     # ------------------------------------------------------------------

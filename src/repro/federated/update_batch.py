@@ -153,6 +153,34 @@ class UpdateBatch:
         """New batch sharing every array except the item gradients."""
         return replace(self, item_grads=item_grads)
 
+    def select_clients(self, keep: np.ndarray) -> "UpdateBatch":
+        """New batch keeping only the clients where ``keep`` is True.
+
+        ``keep`` is a ``(clients,)`` boolean mask.  Surviving clients
+        keep their relative upload order and their exact gradient
+        values (rows are gathered, never recomputed); ``param_owners``
+        is remapped to the surviving positions and parameter stacks of
+        removed clients are dropped.  An all-True mask returns the
+        batch unchanged (same object, zero copies).
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.all():
+            return self
+        row_keep = np.repeat(keep, self.lengths)
+        new_pos = np.cumsum(keep) - 1  # old position -> new position
+        owner_keep = keep[self.param_owners] if len(self.param_owners) else keep[:0]
+        param_stacks = [stack[owner_keep] for stack in self.param_stacks]
+        param_owners = new_pos[self.param_owners[owner_keep]]
+        return UpdateBatch(
+            user_ids=self.user_ids[keep],
+            item_ids=self.item_ids[row_keep],
+            item_grads=self.item_grads[row_keep],
+            lengths=self.lengths[keep],
+            param_stacks=param_stacks,
+            param_owners=np.asarray(param_owners, dtype=np.int64),
+            malicious=self.malicious[keep],
+        )
+
     # ------------------------------------------------------------------
     # ClientUpdate interop
     # ------------------------------------------------------------------

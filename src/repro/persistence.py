@@ -4,20 +4,30 @@ A reproduction harness lives or dies by being able to archive runs:
 ``save_result`` / ``load_result`` serialise a
 :class:`repro.federated.SimulationResult` (metrics + history) as JSON,
 ``save_model`` / ``load_model`` checkpoint a global model's item
-embeddings and interaction parameters as a NumPy archive, and
-``save_sweep_entry`` / ``load_sweep_entry`` store the sweep
-orchestrator's content-addressed per-cell cache entries (see
-:mod:`repro.experiments.sweep`).
+embeddings and interaction parameters as a NumPy archive,
+``save_checkpoint`` / ``load_checkpoint`` store a *running*
+simulation's full mutable state (see
+:meth:`repro.federated.simulation.FederatedSimulation.run`'s
+``checkpoint_dir``), and ``save_sweep_entry`` / ``load_sweep_entry``
+store the sweep orchestrator's content-addressed per-cell cache
+entries (see :mod:`repro.experiments.sweep`).
+
+Every writer here is crash-safe: payloads land in a temp file in the
+target directory and reach their final name through one atomic
+``os.replace``, so a process killed mid-save leaves either the
+previous complete file or no file — never a truncated one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 from typing import Any
 
 import numpy as np
 
+from repro.federated.faults import FaultStats
 from repro.federated.simulation import EvalRecord, SimulationResult
 from repro.models.base import RecommenderModel
 
@@ -26,9 +36,35 @@ __all__ = [
     "load_result",
     "save_model",
     "load_model",
+    "save_checkpoint",
+    "load_checkpoint",
     "save_sweep_entry",
     "load_sweep_entry",
+    "CHECKPOINT_VERSION",
 ]
+
+#: Version tag baked into every simulation checkpoint.  Bump whenever
+#: the checkpoint payload layout changes; loading a mismatched version
+#: raises instead of silently resuming from incompatible state.
+CHECKPOINT_VERSION = "ckpt-v1"
+
+
+def _replace_into(path: str, write) -> None:
+    """Run ``write(tmp_path)`` then atomically rename onto ``path``.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the final ``os.replace`` is atomic) and is pid-suffixed so
+    concurrent writers never collide on it.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        write(tmp_path)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
 
 
 def save_result(result: SimulationResult, path: str) -> None:
@@ -47,10 +83,14 @@ def save_result(result: SimulationResult, path: str) -> None:
             }
             for rec in result.history
         ],
+        "fault_stats": result.fault_stats.to_dict(),
     }
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+
+    def write(tmp_path: str) -> None:
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    _replace_into(path, write)
 
 
 def load_result(path: str) -> SimulationResult:
@@ -67,7 +107,45 @@ def load_result(path: str) -> SimulationResult:
             EvalRecord(rec["round_idx"], rec["exposure"], rec["hit_ratio"])
             for rec in payload["history"]
         ],
+        fault_stats=FaultStats.from_dict(payload.get("fault_stats", {})),
     )
+
+
+def save_checkpoint(path: str, payload: dict[str, Any]) -> None:
+    """Write one simulation checkpoint atomically (pickle, versioned).
+
+    ``payload`` is the opaque state dict assembled by
+    :meth:`FederatedSimulation.checkpoint_payload`; this layer only
+    adds the version envelope and the crash-safe write.  A run killed
+    mid-checkpoint resumes from the previous complete checkpoint.
+    """
+    envelope = {"version": CHECKPOINT_VERSION, "payload": payload}
+
+    def write(tmp_path: str) -> None:
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    _replace_into(path, write)
+
+
+def load_checkpoint(path: str) -> dict[str, Any]:
+    """Load a checkpoint saved by :func:`save_checkpoint`.
+
+    Raises ``ValueError`` on a version mismatch or a malformed file —
+    resuming from incompatible state must fail loudly, never produce a
+    silently divergent run.
+    """
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise ValueError(f"{path} is not a simulation checkpoint")
+    version = envelope.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {version!r} does not match "
+            f"{CHECKPOINT_VERSION!r}; re-run from scratch"
+        )
+    return envelope["payload"]
 
 
 def save_sweep_entry(path: str, *, key: str, kind: str, values: Any) -> None:
@@ -111,8 +189,16 @@ def save_model(model: RecommenderModel, path: str) -> None:
     arrays = {"item_embeddings": model.item_embeddings}
     for index, param in enumerate(model.interaction_params()):
         arrays[f"param_{index}"] = param
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(path, **arrays)
+    final_path = path if path.endswith(".npz") else path + ".npz"
+
+    def write(tmp_path: str) -> None:
+        # np.savez appends ".npz" unless the name already carries it;
+        # the temp name from _replace_into never does, so add it and
+        # move the actual output into place under the temp name.
+        np.savez(tmp_path + ".npz", **arrays)
+        os.replace(tmp_path + ".npz", tmp_path)
+
+    _replace_into(final_path, write)
 
 
 def load_model(model: RecommenderModel, path: str) -> RecommenderModel:

@@ -1,0 +1,268 @@
+"""Checkpoint/resume: the bit-identity contract.
+
+The contract under test: a run interrupted at any checkpoint boundary
+and resumed in a *fresh process-equivalent* simulation (new object, same
+config) produces final state — metrics, embeddings, interaction
+parameters, fault counters, audit log, history — **bit-identical** to
+the same run never interrupted.  Holds on both engines, under attacks,
+under fault injection, and on the native kernel backend.
+
+Also here: the failure modes that must be loud — config digest
+mismatch, engine mismatch, version mismatch, corrupt files — and the
+crash-safety of the atomic writer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import kernels, persistence
+from repro.config import (
+    AttackConfig,
+    ExperimentConfig,
+    FaultConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.federated.simulation import FederatedSimulation
+from repro.kernels import NativeKernelsUnavailable
+
+try:
+    NATIVE = kernels.resolve("native")
+    NATIVE_ERROR = None
+except NativeKernelsUnavailable as exc:  # pragma: no cover - CI has a toolchain
+    NATIVE = None
+    NATIVE_ERROR = str(exc)
+
+needs_native = pytest.mark.skipif(
+    NATIVE is None, reason=f"native backend unavailable: {NATIVE_ERROR}"
+)
+
+FAULTS = FaultConfig(
+    dropout_rate=0.15,
+    straggler_rate=0.1,
+    straggler_max_delay=2,
+    corruption_rate=0.05,
+    corruption_mode="nan",
+    min_quorum=2,
+)
+
+
+def _config(model_kind: str = "mf", **kwargs) -> ExperimentConfig:
+    if model_kind == "mf":
+        model = ModelConfig(kind="mf", embedding_dim=8, seed=3)
+        train = TrainConfig(rounds=10, users_per_round=16, lr=1.0, eval_every=0)
+    else:
+        model = ModelConfig(kind="ncf", embedding_dim=8, mlp_layers=(16, 8), seed=3)
+        train = TrainConfig(rounds=10, users_per_round=16, lr=0.05, eval_every=0)
+    kwargs.setdefault(
+        "attack", AttackConfig(name="pieck_uea", malicious_ratio=0.2, mining_rounds=2)
+    )
+    return ExperimentConfig(model=model, train=train, seed=3, **kwargs)
+
+
+def _final_state(sim: FederatedSimulation, result) -> dict:
+    return {
+        "exposure": result.exposure,
+        "hit_ratio": result.hit_ratio,
+        "rounds_run": result.rounds_run,
+        "fault_stats": result.fault_stats,
+        "items": sim.model.item_embeddings.copy(),
+        "params": [p.copy() for p in sim.model.interaction_params()],
+        "users": sim.state.user_embeddings.copy(),
+        "history": result.history,
+    }
+
+
+def _assert_identical(a: dict, b: dict) -> None:
+    assert a["exposure"] == b["exposure"]
+    assert a["hit_ratio"] == b["hit_ratio"]
+    assert a["rounds_run"] == b["rounds_run"]
+    assert a["fault_stats"] == b["fault_stats"]
+    assert a["items"].tobytes() == b["items"].tobytes()
+    for pa, pb in zip(a["params"], b["params"]):
+        assert pa.tobytes() == pb.tobytes()
+    assert a["users"].tobytes() == b["users"].tobytes()
+    assert a["history"] == b["history"]
+
+
+def _interrupted(cfg, dataset, engine, tmp_path, *, stop_after: int, every: int = 3):
+    """Run ``stop_after`` rounds with checkpointing, then resume fresh."""
+    ckpt_dir = str(tmp_path / "ckpt")
+    first = FederatedSimulation(cfg, dataset, engine=engine)
+    first.run(rounds=stop_after, checkpoint_dir=ckpt_dir, checkpoint_every=every)
+    # A brand-new simulation object stands in for a fresh process.
+    resumed = FederatedSimulation(cfg, dataset, engine=engine)
+    result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=every)
+    return _final_state(resumed, result)
+
+
+class TestResumeBitIdentity:
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_mf_attack_resume(self, tiny_dataset, tmp_path, engine):
+        cfg = _config("mf")
+        reference = FederatedSimulation(cfg, tiny_dataset, engine=engine)
+        ref_state = _final_state(reference, reference.run())
+        _assert_identical(
+            _interrupted(cfg, tiny_dataset, engine, tmp_path, stop_after=7),
+            ref_state,
+        )
+
+    @pytest.mark.parametrize("engine", ["batch", "loop"])
+    def test_faulted_ncf_resume(self, tiny_dataset, tmp_path, engine):
+        # Hardest case: NCF params, attack cohort, fault schedule with
+        # in-flight stale uploads crossing the checkpoint boundary.
+        cfg = _config("ncf", faults=FAULTS)
+        reference = FederatedSimulation(cfg, tiny_dataset, engine=engine)
+        ref_state = _final_state(reference, reference.run())
+        assert ref_state["fault_stats"].any_fault
+        _assert_identical(
+            _interrupted(cfg, tiny_dataset, engine, tmp_path, stop_after=5, every=5),
+            ref_state,
+        )
+
+    def test_resume_at_every_boundary(self, tiny_dataset, tmp_path):
+        # The contract holds wherever the interrupt lands, not just at
+        # one lucky boundary.
+        cfg = _config("mf", faults=FAULTS)
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+        for stop_after in (2, 4, 8):
+            state = _interrupted(
+                cfg, tiny_dataset, "batch", tmp_path / str(stop_after),
+                stop_after=stop_after, every=2,
+            )
+            _assert_identical(state, ref_state)
+
+    def test_history_survives_resume(self, tiny_dataset, tmp_path):
+        cfg = dataclasses.replace(
+            _config("mf"),
+            train=TrainConfig(rounds=10, users_per_round=16, lr=1.0, eval_every=2),
+        )
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+        assert len(ref_state["history"]) > 1
+        _assert_identical(
+            _interrupted(cfg, tiny_dataset, "batch", tmp_path, stop_after=5, every=5),
+            ref_state,
+        )
+
+    def test_audit_log_survives_resume(self, tiny_dataset, tmp_path):
+        from repro.federated.audit import ServerAuditLog
+
+        cfg = _config("mf", faults=FAULTS)
+        ckpt_dir = str(tmp_path / "ckpt")
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        reference.server.audit_log = ServerAuditLog()
+        reference.run()
+
+        first = FederatedSimulation(cfg, tiny_dataset)
+        first.server.audit_log = ServerAuditLog()
+        first.run(rounds=6, checkpoint_dir=ckpt_dir, checkpoint_every=3)
+        resumed = FederatedSimulation(cfg, tiny_dataset)
+        resumed.server.audit_log = ServerAuditLog()
+        resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=3)
+
+        ref_records = reference.server.audit_log.records
+        res_records = resumed.server.audit_log.records
+        assert len(ref_records) == len(res_records)
+        for a, b in zip(ref_records, res_records):
+            # Field-wise with equal_nan: the log records pre-gate, so
+            # corrupted uploads legitimately carry NaN norms, and
+            # dataclass == would fail on identical NaNs.
+            for field in dataclasses.fields(a):
+                va = getattr(a, field.name)
+                vb = getattr(b, field.name)
+                assert np.array_equal(va, vb, equal_nan=isinstance(va, float))
+
+    @needs_native
+    def test_native_backend_resume(self, tiny_dataset, tmp_path):
+        cfg = _config("mf", faults=FAULTS)
+        cfg = dataclasses.replace(
+            cfg, train=dataclasses.replace(cfg.train, kernels="native")
+        )
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+        _assert_identical(
+            _interrupted(cfg, tiny_dataset, "batch", tmp_path, stop_after=7),
+            ref_state,
+        )
+
+
+class TestResumeGuards:
+    def _checkpointed(self, cfg, dataset, tmp_path) -> str:
+        ckpt_dir = str(tmp_path / "ckpt")
+        sim = FederatedSimulation(cfg, dataset)
+        sim.run(rounds=4, checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        return ckpt_dir
+
+    def test_config_mismatch_raises(self, tiny_dataset, tmp_path):
+        cfg = _config("mf")
+        ckpt_dir = self._checkpointed(cfg, tiny_dataset, tmp_path)
+        other = dataclasses.replace(cfg, seed=99)
+        with pytest.raises(ValueError, match="config"):
+            FederatedSimulation(other, tiny_dataset).run(
+                checkpoint_dir=ckpt_dir, checkpoint_every=2
+            )
+
+    def test_engine_mismatch_raises(self, tiny_dataset, tmp_path):
+        cfg = _config("mf")
+        ckpt_dir = self._checkpointed(cfg, tiny_dataset, tmp_path)
+        with pytest.raises(ValueError, match="engine"):
+            FederatedSimulation(cfg, tiny_dataset, engine="loop").run(
+                checkpoint_dir=ckpt_dir, checkpoint_every=2
+            )
+
+    def test_version_mismatch_raises(self, tiny_dataset, tmp_path):
+        cfg = _config("mf")
+        ckpt_dir = self._checkpointed(cfg, tiny_dataset, tmp_path)
+        path = os.path.join(ckpt_dir, "checkpoint.pkl")
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["version"] = "ckpt-v0"
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(ValueError, match="version"):
+            persistence.load_checkpoint(path)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        with open(path, "wb") as handle:
+            pickle.dump(["not", "a", "checkpoint"], handle)
+        with pytest.raises(ValueError):
+            persistence.load_checkpoint(path)
+
+    def test_fresh_run_ignores_checkpoint(self, tiny_dataset, tmp_path):
+        cfg = _config("mf")
+        ckpt_dir = self._checkpointed(cfg, tiny_dataset, tmp_path)
+        result = FederatedSimulation(cfg, tiny_dataset).run(
+            checkpoint_dir=ckpt_dir, checkpoint_every=2, resume=False
+        )
+        reference = FederatedSimulation(cfg, tiny_dataset).run()
+        assert result.exposure == reference.exposure
+        assert result.hit_ratio == reference.hit_ratio
+
+
+class TestAtomicWrites:
+    def test_checkpoint_write_failure_leaves_previous_file(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        persistence.save_checkpoint(path, {"round": 1})
+        # Simulate a crash mid-write: the writer raising must leave the
+        # old complete file untouched and no temp litter.
+        with pytest.raises(RuntimeError):
+            persistence._replace_into(
+                path, lambda tmp: (_ for _ in ()).throw(RuntimeError("disk died"))
+            )
+        assert persistence.load_checkpoint(path)["round"] == 1
+        assert os.listdir(tmp_path) == ["checkpoint.pkl"]
+
+    def test_no_temp_litter_after_save(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        persistence.save_checkpoint(path, {"round": 2})
+        assert os.listdir(tmp_path) == ["checkpoint.pkl"]
+        assert persistence.load_checkpoint(path)["round"] == 2

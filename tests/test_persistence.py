@@ -76,3 +76,73 @@ class TestModelRoundtrip:
         save_model(MFModel(8, 4, seed=1), path)
         with pytest.raises(ValueError, match="interaction parameters"):
             load_model(NCFModel(8, 4, mlp_layers=(8,), seed=1), path)
+
+
+class TestFaultStatsRoundtrip:
+    def test_fault_stats_persisted(self, tmp_path):
+        from repro.federated.faults import FaultStats
+
+        path = str(tmp_path / "result.json")
+        original = make_result()
+        original = SimulationResult(
+            exposure=original.exposure,
+            hit_ratio=original.hit_ratio,
+            targets=original.targets,
+            rounds_run=original.rounds_run,
+            history=original.history,
+            seconds_per_round=original.seconds_per_round,
+            fault_stats=FaultStats(
+                dropped_uploads=5,
+                deferred_uploads=3,
+                stale_applied=2,
+                stale_pending=1,
+                corrupted_uploads=4,
+                rejected_nonfinite=4,
+                rejected_oversized=1,
+                quorum_failed_rounds=1,
+                quorum_dropped_uploads=2,
+            ),
+        )
+        save_result(original, path)
+        assert load_result(path).fault_stats == original.fault_stats
+
+    def test_legacy_payload_defaults_to_zero_stats(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        del payload["fault_stats"]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert not load_result(path).fault_stats.any_fault
+
+
+class TestAtomicWrites:
+    def test_result_save_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["result.json"]
+
+    def test_model_save_leaves_no_temp_files(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_model(MFModel(4, 3, seed=0), path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_failed_result_save_keeps_previous(self, tmp_path, monkeypatch):
+        import json as json_module
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk died")
+
+        monkeypatch.setattr(json_module, "dump", explode)
+        with pytest.raises(RuntimeError):
+            save_result(make_result(), path)
+        monkeypatch.undo()
+        # The previous complete file survived the failed overwrite.
+        assert load_result(path).exposure == 0.25
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["result.json"]
