@@ -89,6 +89,13 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 #: ``--faults`` spec keys → :class:`repro.config.FaultConfig` fields.
 #: Full field names are accepted too.
 _FAULT_KEYS = {
@@ -103,38 +110,114 @@ _FAULT_KEYS = {
     "max-norm": "max_upload_norm",
 }
 
+#: ``--async`` spec keys → :class:`repro.config.AsyncConfig` fields.
+_ASYNC_KEYS = {
+    "traffic": "traffic",
+    "rate": "arrival_rate",
+    "trace": "trace_offsets",
+    "compute": "compute_mean",
+    "network": "network_mean",
+    "churn": "churn_rate",
+    "k": "buffer_size",
+    "buffer": "buffer_size",
+    "interval": "round_interval",
+    "deadline": "round_deadline",
+    "discount": "staleness_discount",
+    "max-stale": "max_staleness",
+}
 
-def parse_fault_spec(spec: str):
-    """Parse a ``--faults`` key=value spec into a :class:`FaultConfig`."""
-    from repro.config import FaultConfig
 
-    fields = {f.name for f in dataclasses.fields(FaultConfig)}
-    kwargs = {}
+def _convert_spec_value(type_name: str, raw: str, key: str):
+    """Convert one key=value spec string to a dataclass field's type."""
+    if type_name == "str":
+        return raw
+    if type_name == "int":
+        return int(raw)
+    if type_name == "float":
+        return float(raw)
+    if type_name == "bool":
+        lowered = raw.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise argparse.ArgumentTypeError(
+            f"{key}={raw!r} is not a boolean (use true/false)"
+        )
+    if type_name == "tuple[float, ...]":
+        # Colon-separated so the value survives the comma-separated
+        # spec, e.g. trace=0.0:0.5:1.25.
+        return tuple(float(piece) for piece in raw.split(":") if piece)
+    raise argparse.ArgumentTypeError(
+        f"{key!r} cannot be set from the command line"
+    )  # pragma: no cover - all current fields are convertible
+
+
+def _parse_spec(spec: str, cls, aliases: dict[str, str], label: str) -> dict:
+    """Parse a comma-separated key=value spec into ``cls`` kwargs.
+
+    Keys may be short aliases or full field names.  Unknown keys fail
+    with a "did you mean" suggestion and the full list of valid keys —
+    a typo must never silently fall through to a bare ``TypeError``.
+    """
+    import difflib
+
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    valid = sorted(set(aliases) | set(fields))
+    kwargs: dict = {}
     for part in spec.split(","):
         part = part.strip()
         if not part:
             continue
         if "=" not in part:
             raise argparse.ArgumentTypeError(
-                f"fault spec entry {part!r} is not key=value"
+                f"{label} spec entry {part!r} is not key=value"
             )
         key, _, raw = part.partition("=")
         key = key.strip()
-        name = _FAULT_KEYS.get(key, key)
+        name = aliases.get(key, key)
         if name not in fields:
+            close = difflib.get_close_matches(key, valid, n=1)
+            hint = f" — did you mean {close[0]!r}?" if close else ""
             raise argparse.ArgumentTypeError(
-                f"unknown fault key {key!r} (choose from "
-                f"{', '.join(sorted(_FAULT_KEYS))})"
+                f"unknown {label} key {key!r}{hint} "
+                f"(valid keys: {', '.join(valid)})"
             )
-        raw = raw.strip()
-        if name == "corruption_mode":
-            kwargs[name] = raw
-        elif name in ("straggler_max_delay", "min_quorum"):
-            kwargs[name] = int(raw)
-        else:
-            kwargs[name] = float(raw)
+        try:
+            kwargs[name] = _convert_spec_value(fields[name].type, raw.strip(), key)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{label} key {key!r}: cannot parse value {raw.strip()!r} "
+                f"as {fields[name].type}"
+            ) from None
+    return kwargs
+
+
+def parse_fault_spec(spec: str):
+    """Parse a ``--faults`` key=value spec into a :class:`FaultConfig`."""
+    from repro.config import FaultConfig
+
+    kwargs = _parse_spec(spec, FaultConfig, _FAULT_KEYS, "fault")
     try:
         return FaultConfig(**kwargs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def parse_async_spec(spec: str):
+    """Parse an ``--async`` key=value spec into an :class:`AsyncConfig`.
+
+    The flag's presence opts into the asynchronous engine, so
+    ``enabled`` is always forced on; an empty spec (``--async ''``)
+    yields the degenerate configuration that reproduces the
+    synchronous engine bit for bit.
+    """
+    from repro.config import AsyncConfig
+
+    kwargs = _parse_spec(spec, AsyncConfig, _ASYNC_KEYS, "async")
+    kwargs["enabled"] = True
+    try:
+        return AsyncConfig(**kwargs)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -159,16 +242,29 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--faults",
         metavar="SPEC",
+        type=parse_fault_spec,
         default=None,
         help="fault model as key=value pairs, e.g. "
         "'dropout=0.2,straggler=0.1,corruption=0.05,mode=nan,quorum=8' "
         f"(keys: {', '.join(sorted(_FAULT_KEYS))})",
     )
     run.add_argument(
+        "--async",
+        dest="async_spec",
+        metavar="SPEC",
+        type=parse_async_spec,
+        default=None,
+        help="run the event-driven asynchronous engine; key=value pairs "
+        "e.g. 'traffic=poisson,rate=8,network=0.4,churn=0.1,k=16,"
+        "deadline=1.5,discount=0.5,max-stale=4' "
+        f"(keys: {', '.join(sorted(set(_ASYNC_KEYS)))}; an empty spec "
+        "is the degenerate config that matches the synchronous engine)",
+    )
+    run.add_argument(
         "--checkpoint-dir",
         metavar="PATH",
         default=None,
-        help="write an atomic rolling checkpoint here and resume from it",
+        help="write atomic versioned checkpoints here and resume from the newest",
     )
     run.add_argument(
         "--checkpoint-every",
@@ -176,6 +272,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         metavar="N",
         help="rounds between checkpoints (with --checkpoint-dir; default 10)",
+    )
+    run.add_argument(
+        "--checkpoint-keep",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="retain only the newest N checkpoints (default 3)",
     )
     run.add_argument(
         "--fresh",
@@ -254,6 +357,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _runtime_stats_table(fault_stats, async_stats) -> str | None:
+    """One aligned table of fault + async runtime counters, or ``None``.
+
+    Printed after a ``run`` whenever either subsystem did anything, so
+    degraded rounds are visible on stdout, not only in the saved JSON.
+    """
+    groups = []
+    if fault_stats.any_fault:
+        groups.append(("faults", fault_stats.to_dict()))
+    if async_stats.any_async:
+        groups.append(("async", async_stats.to_dict()))
+    if not groups:
+        return None
+    rows = [
+        (group, name.replace("_", " "), value)
+        for group, counters in groups
+        for name, value in counters.items()
+    ]
+    name_width = max(len(name) for _, name, _ in rows)
+    value_width = max(len(str(value)) for _, _, value in rows)
+    lines = ["runtime counters:"]
+    for group, name, value in rows:
+        lines.append(f"  {group:<7} {name:<{name_width}} {value:>{value_width}}")
+    return "\n".join(lines)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     config = experiment(
         args.dataset,
@@ -264,8 +393,10 @@ def _command_run(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         eval_every=args.eval_every,
     )
-    if args.faults:
-        config = dataclasses.replace(config, faults=parse_fault_spec(args.faults))
+    if args.faults is not None:
+        config = dataclasses.replace(config, faults=args.faults)
+    if args.async_spec is not None:
+        config = dataclasses.replace(config, asynchrony=args.async_spec)
     sim = FederatedSimulation(config)
     print(
         f"Running {args.attack} vs {args.defense} on {args.dataset} "
@@ -275,6 +406,7 @@ def _command_run(args: argparse.Namespace) -> int:
     result = sim.run(
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
         resume=not args.fresh,
     )
     for record in result.history:
@@ -283,17 +415,9 @@ def _command_run(args: argparse.Namespace) -> int:
             f"ER@10 = {100 * record.exposure:6.2f}%  "
             f"HR@10 = {100 * record.hit_ratio:5.2f}%"
         )
-    stats = result.fault_stats
-    if stats.any_fault:
-        print(
-            "faults: "
-            f"{stats.dropped_uploads} dropped, "
-            f"{stats.deferred_uploads} deferred "
-            f"({stats.stale_applied} applied stale, {stats.stale_pending} pending), "
-            f"{stats.corrupted_uploads} corrupted, "
-            f"{stats.rejected_uploads} rejected by the server gate, "
-            f"{stats.quorum_failed_rounds} rounds below quorum"
-        )
+    table = _runtime_stats_table(result.fault_stats, result.async_stats)
+    if table:
+        print(table)
     if args.save_result:
         from repro.persistence import save_result
 

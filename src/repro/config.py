@@ -11,6 +11,9 @@ experiments:
 * :class:`DefenseConfig` — defense knobs (Section V);
 * :class:`FaultConfig` — failure-model knobs (client dropout,
   stragglers, payload corruption, server quorum / sanity bounds);
+* :class:`AsyncConfig` — asynchronous-federation knobs (traffic
+  process, compute/network latency, churn, FedBuff-style buffered
+  aggregation with staleness discounting, round deadlines);
 * :class:`ExperimentConfig` — one full experiment = all of the above.
 
 All dataclasses are frozen: configs are values, never mutated in place.
@@ -29,6 +32,7 @@ __all__ = [
     "AttackConfig",
     "DefenseConfig",
     "FaultConfig",
+    "AsyncConfig",
     "ExperimentConfig",
     "replace",
 ]
@@ -332,6 +336,95 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class AsyncConfig:
+    """Asynchronous-federation knobs for the event-driven engine.
+
+    With ``enabled=False`` (the default) the simulation runs the
+    classic synchronous round loop and this config is inert.  With
+    ``enabled=True`` the run executes on the event-driven
+    :class:`~repro.federated.async_engine.AsyncFederationEngine`:
+    client *waves* dispatch on a virtual clock every
+    ``round_interval`` time units, each client's upload lands after a
+    sampled traffic offset + compute latency + network delay (all
+    drawn from ``spawn(seed, "async-plan", wave)`` — the same spawn
+    discipline as every other stream, so the whole schedule is a pure
+    function of ``(seed, config, wave)``), churned clients never
+    upload, and the server aggregates FedBuff-style: a round closes
+    when ``buffer_size`` uploads are buffered *or* its deadline
+    expires, whichever comes first, with uploads delayed past their
+    origin model version scaled by ``staleness_discount ** delay``.
+
+    The *default parameter values are the degenerate configuration*:
+    instant traffic, zero latency, zero churn, ``buffer_size=0`` (=
+    the full cohort) and ``round_deadline == round_interval``
+    reproduce the synchronous batch engine bit for bit — asserted by
+    the sync-equivalence suite.  Every parameter here affects results,
+    so the whole config enters sweep cache keys.
+    """
+
+    enabled: bool = False
+    #: Traffic process spreading a wave's uploads over virtual time:
+    #: ``"instant"`` (all at dispatch), ``"poisson"`` (exponential
+    #: inter-arrival gaps at ``arrival_rate`` clients per time unit),
+    #: or ``"trace"`` (offsets cycled from ``trace_offsets``).
+    traffic: str = "instant"
+    arrival_rate: float = 8.0
+    trace_offsets: tuple[float, ...] = ()
+    #: Mean of the exponential per-client compute latency (0 = none).
+    compute_mean: float = 0.0
+    #: Mean of the exponential per-client network delay (0 = none).
+    network_mean: float = 0.0
+    #: Probability a dispatched client churns mid-round: it trains
+    #: locally (private state advances) but its upload is cancelled.
+    churn_rate: float = 0.0
+    #: FedBuff K — uploads buffered before aggregation fires.  0 means
+    #: "the wave cohort size" (i.e. ``min(users_per_round, |U|)``).
+    buffer_size: int = 0
+    #: Virtual time between client-wave dispatches.
+    round_interval: float = 1.0
+    #: A round aggregates whatever it has this long after its first
+    #: dispatch/arrival, even below ``buffer_size``.
+    round_deadline: float = 1.0
+    #: Per-version-of-delay multiplier on a stale upload
+    #: (``staleness_discount ** delay``, applied in the gradient's own
+    #: dtype — the same arithmetic as the fault layer's
+    #: :class:`~repro.federated.faults.DeferredUpload`).
+    staleness_discount: float = 0.5
+    #: Uploads staler than this many versions are dropped (and
+    #: counted) instead of applied; 0 = unbounded.
+    max_staleness: int = 0
+
+    def __post_init__(self) -> None:
+        if self.traffic not in ("instant", "poisson", "trace"):
+            raise ValueError(
+                f"unknown traffic process {self.traffic!r}; "
+                f"expected 'instant', 'poisson' or 'trace'"
+            )
+        if self.traffic == "trace" and not self.trace_offsets:
+            raise ValueError("traffic='trace' needs non-empty trace_offsets")
+        if any(offset < 0 for offset in self.trace_offsets):
+            raise ValueError("trace_offsets must be >= 0")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+        if self.compute_mean < 0 or self.network_mean < 0:
+            raise ValueError("latency means must be >= 0")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError(
+                f"churn_rate must be in [0, 1], got {self.churn_rate}"
+            )
+        if self.buffer_size < 0:
+            raise ValueError("buffer_size must be >= 0")
+        if self.round_interval <= 0:
+            raise ValueError("round_interval must be > 0")
+        if self.round_deadline <= 0:
+            raise ValueError("round_deadline must be > 0")
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError("staleness_discount must be in (0, 1]")
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """A complete experiment: dataset + model + training + attack + defense."""
 
@@ -345,4 +438,8 @@ class ExperimentConfig:
     #: layer.  Fault parameters affect results, so they enter the sweep
     #: cache key (unlike ``train.kernels``).
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Asynchrony model (named ``asynchrony`` because ``async`` is a
+    #: keyword); disabled by default.  Like ``faults``, every parameter
+    #: affects results and enters the sweep cache key.
+    asynchrony: AsyncConfig = field(default_factory=AsyncConfig)
     seed: int = 0

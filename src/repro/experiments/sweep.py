@@ -77,7 +77,10 @@ __all__ = [
 #: v4: ExperimentConfig grew a FaultConfig (hashed via asdict like the
 #: rest of the config, so fault parameters enter every key); zero-fault
 #: values are unchanged but the key layout is not.
-CACHE_VERSION = "sweep-v4"
+#: v5: ExperimentConfig grew an AsyncConfig (``asynchrony``), so every
+#: asynchrony parameter enters every key; synchronous values are
+#: unchanged but the key layout is not.
+CACHE_VERSION = "sweep-v5"
 
 
 @dataclass(frozen=True)

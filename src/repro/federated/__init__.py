@@ -8,9 +8,15 @@ aggregator) and applies one SGD step. User embeddings stay on clients.
 """
 
 from repro.federated.aggregation import Aggregator, SumAggregator, scatter_sum
+from repro.federated.async_engine import (
+    AsyncFederationEngine,
+    AsyncStats,
+    StalenessAggregator,
+)
 from repro.federated.audit import ItemRoundRecord, ServerAuditLog
 from repro.federated.batch_engine import BatchClientEngine
 from repro.federated.client import BenignClient
+from repro.federated.clock import AsyncPlan, EventQueue, VirtualClock
 from repro.federated.faults import (
     FaultController,
     FaultPlan,
@@ -38,6 +44,12 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "StalenessBuffer",
+    "AsyncFederationEngine",
+    "AsyncStats",
+    "StalenessAggregator",
+    "AsyncPlan",
+    "EventQueue",
+    "VirtualClock",
     "FederatedSimulation",
     "SimulationResult",
     "EvalRecord",

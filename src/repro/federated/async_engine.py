@@ -1,0 +1,450 @@
+"""Event-driven asynchronous federation engine (FedAsync/FedBuff style).
+
+The synchronous engines run the paper's idealized protocol: sample,
+train, aggregate, repeat — every upload applies in the round that
+produced it.  Real federated recommenders are asynchronous: clients
+arrive on a traffic process, train at their own speed, upload over
+slow links, churn away mid-round, and the server aggregates whatever
+it has when a buffer fills or a deadline expires.  This module makes
+that a first-class, *deterministic* execution mode:
+
+* :class:`AsyncFederationEngine` — the event loop.  Client *waves*
+  dispatch every ``round_interval`` of virtual time; each wave is the
+  synchronous engine's cohort for that wave index (same
+  ``server.sample_users`` stream) and trains in one batched pass
+  against the model it downloaded at dispatch — the math is exactly
+  :meth:`~repro.federated.batch_engine.BatchClientEngine.\
+compute_round_batch`, the async layer only reorders *when* the
+  resulting uploads reach aggregation.  Per-upload traffic offsets,
+  compute latencies, network delays and churn come from the seeded
+  :class:`~repro.federated.clock.AsyncPlan`.
+* :class:`StalenessAggregator` — the FedBuff-style server buffer.
+  Uploads arrive tagged with the model version they trained against;
+  a round closes when ``buffer_size`` uploads are buffered or its
+  deadline expires (whichever first) and flushes the buffer in
+  arrival order, scaling uploads that are ``delay`` versions stale by
+  ``staleness_discount ** delay`` — the same in-dtype arithmetic as
+  the fault layer's :class:`~repro.federated.faults.DeferredUpload`.
+  Uploads staler than ``max_staleness`` are dropped *and counted*.
+* :class:`AsyncStats` — full accounting in the mold of
+  :class:`~repro.federated.faults.FaultStats`: every dispatched
+  client is cancelled, in flight, buffered, applied or dropped —
+  nothing vanishes silently (conservation is asserted by the
+  property suite).
+
+Determinism contracts (asserted in CI):
+
+1. **Same seed ⇒ bit-identical runs.**  Time is virtual — the event
+   sequence is a pure function of ``(seed, config)``.  Events at the
+   same instant order by ``DEADLINE < DISPATCH < ARRIVAL`` then FIFO,
+   the wave schedules are stateless spawns, and the queue contents are
+   checkpointable, so resume preserves bit-identity mid-stream.
+2. **Degenerate config ⇒ the synchronous engine, bit for bit.**  With
+   instant traffic, zero latency, zero churn, ``buffer_size = |wave|``
+   and ``round_deadline = round_interval``, wave ``r``'s uploads are
+   the only buffer contents when round ``r`` closes, at staleness 0
+   (discount skipped — not multiplied by 1.0), in the synchronous
+   upload order; partial waves (e.g. miners not uploading) close by
+   deadline *before* the next wave's instant arrivals are processed,
+   so no wave ever bleeds into a neighbouring round.
+
+A round's deadline is *armed* by the first dispatch or arrival
+processed while the round is open (not by the round opening itself):
+a round whose work has not started yet cannot expire, and a round
+whose wave uploads nothing still terminates — this is what makes the
+degenerate config exact in both the full-wave and partial-wave cases
+while keeping every round finite under total churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import kernels
+from repro.config import AsyncConfig, TrainConfig
+from repro.federated.batch_engine import BatchClientEngine
+from repro.federated.clock import (
+    PRIORITY_ARRIVAL,
+    PRIORITY_DEADLINE,
+    PRIORITY_DISPATCH,
+    AsyncPlan,
+    EventQueue,
+    VirtualClock,
+)
+from repro.federated.faults import DeferredUpload
+from repro.federated.payload import ClientUpdate
+from repro.federated.server import Server
+from repro.federated.update_batch import UpdateBatch
+
+__all__ = ["AsyncStats", "FlushResult", "StalenessAggregator", "AsyncFederationEngine"]
+
+#: Event kinds, carried as the first element of each queue payload.
+EVENT_DISPATCH = "dispatch"
+EVENT_DEADLINE = "deadline"
+EVENT_ARRIVAL = "arrival"
+
+
+@dataclass(frozen=True)
+class AsyncStats:
+    """Asynchrony accounting of one simulation run.
+
+    Conservation invariants (property-tested):
+
+    * ``clients_dispatched == uploads_cancelled + uploads_arrived +
+      uploads_in_flight``
+    * ``uploads_arrived == uploads_applied + stale_dropped +
+      uploads_buffered``
+    * ``rounds_closed_by_buffer + rounds_closed_by_deadline`` is the
+      number of aggregations performed.
+    """
+
+    waves_dispatched: int = 0
+    clients_dispatched: int = 0
+    uploads_cancelled: int = 0
+    uploads_arrived: int = 0
+    uploads_applied: int = 0
+    #: Applied uploads whose staleness delay was >= 1 version.
+    stale_applied: int = 0
+    #: Uploads dropped for exceeding ``max_staleness``.
+    stale_dropped: int = 0
+    max_staleness_applied: int = 0
+    rounds_closed_by_buffer: int = 0
+    rounds_closed_by_deadline: int = 0
+    #: Deadline closes that flushed an empty buffer (no upload made it
+    #: in time — the model does not move, but the round terminates).
+    empty_rounds: int = 0
+    #: Uploads still travelling (scheduled arrivals) at run end.
+    uploads_in_flight: int = 0
+    #: Uploads sitting in the aggregation buffer at run end.
+    uploads_buffered: int = 0
+
+    @property
+    def any_async(self) -> bool:
+        """Whether the run executed on the asynchronous engine at all."""
+        return bool(self.waves_dispatched)
+
+    def to_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, int]) -> "AsyncStats":
+        return cls(**{k: int(payload.get(k, 0)) for k in cls.__dataclass_fields__})
+
+
+@dataclass
+class FlushResult:
+    """One aggregation's flushed batch plus its staleness accounting."""
+
+    batch: UpdateBatch
+    applied: int = 0
+    stale_applied: int = 0
+    stale_dropped: int = 0
+    max_delay: int = 0
+
+
+class StalenessAggregator:
+    """FedBuff-style buffered aggregation with staleness discounting.
+
+    Holds ``(upload, origin_version)`` entries in arrival order (FIFO
+    — arrival order is deterministic, so flush order and every
+    downstream float accumulation are too).  ``flush(current_version)``
+    converts the buffer into one :class:`UpdateBatch`: fresh uploads
+    (delay 0) pass through untouched — their arrays are *not*
+    multiplied by 1.0, keeping the degenerate config bit-identical —
+    and stale uploads are scaled by ``discount ** delay`` in the
+    gradient's own dtype via the fault layer's
+    :class:`~repro.federated.faults.DeferredUpload` arithmetic.
+    """
+
+    def __init__(self, discount: float, max_staleness: int = 0):
+        self.discount = float(discount)
+        self.max_staleness = int(max_staleness)
+        self._entries: list[tuple[ClientUpdate, int]] = []
+
+    def add(self, update: ClientUpdate, origin_version: int) -> None:
+        self._entries.append((update, int(origin_version)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def flush(self, current_version: int) -> FlushResult:
+        """Drain the buffer into one batch at ``current_version``."""
+        kept: list[ClientUpdate] = []
+        result = FlushResult(batch=None)  # type: ignore[arg-type]
+        for update, origin in self._entries:
+            delay = int(current_version) - origin
+            if self.max_staleness and delay > self.max_staleness:
+                result.stale_dropped += 1
+                continue
+            if delay > 0:
+                deferred = DeferredUpload(
+                    user_id=update.user_id,
+                    item_ids=update.item_ids,
+                    item_grads=update.item_grads,
+                    param_grads=update.param_grads,
+                    malicious=update.malicious,
+                    discount=self.discount**delay,
+                    origin_round=origin,
+                )
+                update = ClientUpdate(
+                    user_id=update.user_id,
+                    item_ids=update.item_ids,
+                    item_grads=deferred.discounted_grads(),
+                    param_grads=deferred.discounted_params(),
+                    malicious=update.malicious,
+                )
+                result.stale_applied += 1
+                result.max_delay = max(result.max_delay, delay)
+            kept.append(update)
+        result.applied = len(kept)
+        result.batch = UpdateBatch.from_updates(kept)
+        self._entries = []
+        return result
+
+    # -- checkpoint plumbing -------------------------------------------
+
+    def state(self) -> list[tuple[ClientUpdate, int]]:
+        return list(self._entries)
+
+    def restore(self, state: list[tuple[ClientUpdate, int]]) -> None:
+        self._entries = list(state)
+
+
+class AsyncFederationEngine:
+    """Drives the simulation's rounds through a virtual-time event loop.
+
+    One engine per simulation, wrapping the simulation's
+    :class:`~repro.federated.batch_engine.BatchClientEngine` (whose
+    batched math and RNG streams it reuses verbatim) and its
+    :class:`~repro.federated.server.Server` (whose sanity gate, quorum
+    check, defenses and audit log see flushed batches exactly as they
+    see synchronous rounds).
+
+    ``run_round(r)`` advances the event loop until aggregation ``r``
+    completes, so the simulation's training loop — evaluation cadence,
+    checkpoint boundaries, history recording — is unchanged: one
+    "round" is one aggregation, synchronous or not.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch_engine: BatchClientEngine,
+        server: Server,
+        config: AsyncConfig,
+        train_cfg: TrainConfig,
+        total_users: int,
+        seed: int,
+    ):
+        self.batch_engine = batch_engine
+        self.server = server
+        self.config = config
+        self.train_cfg = train_cfg
+        self.total_users = total_users
+        self.seed = seed
+        self.plan = AsyncPlan(config, seed)
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.aggregator = StalenessAggregator(
+            config.staleness_discount, config.max_staleness
+        )
+        #: FedBuff K: aggregate as soon as this many uploads buffer.
+        self.k = config.buffer_size or min(
+            train_cfg.users_per_round, total_users
+        )
+        #: Aggregations completed == the model version clients see.
+        self.version = 0
+        #: Whether the open round's deadline event has been scheduled.
+        self.deadline_armed = False
+        # Counters (AsyncStats is assembled from these on demand).
+        self.waves_dispatched = 0
+        self.clients_dispatched = 0
+        self.uploads_cancelled = 0
+        self.uploads_arrived = 0
+        self.uploads_applied = 0
+        self.stale_applied = 0
+        self.stale_dropped = 0
+        self.max_staleness_applied = 0
+        self.rounds_closed_by_buffer = 0
+        self.rounds_closed_by_deadline = 0
+        self.empty_rounds = 0
+        self.queue.push(0.0, PRIORITY_DISPATCH, (EVENT_DISPATCH, 0))
+
+    # ------------------------------------------------------------------
+    # Round driver
+    # ------------------------------------------------------------------
+
+    def run_round(self, round_idx: int) -> None:
+        """Advance the event loop until aggregation ``round_idx`` closes.
+
+        The loop always terminates: the first dispatch or arrival seen
+        by the open round arms its deadline, dispatches recur every
+        ``round_interval``, and an expired deadline closes the round
+        even with an empty buffer.
+        """
+        if round_idx != self.version:
+            raise RuntimeError(
+                f"async engine is at aggregation {self.version}, "
+                f"cannot run round {round_idx} out of order"
+            )
+        target = self.version + 1
+        with kernels.use(self.batch_engine.kernel_backend) as backend:
+            fallbacks_before = backend.fallback_calls
+            while self.version < target:
+                self._step()
+            if backend.fallback_calls > fallbacks_before:
+                self.batch_engine.kernel_fallback_rounds += 1
+
+    def _step(self) -> None:
+        time, _, payload = self.queue.pop()
+        self.clock.advance(time)
+        kind = payload[0]
+        if kind == EVENT_DISPATCH:
+            self._dispatch(payload[1])
+        elif kind == EVENT_DEADLINE:
+            self._deadline(payload[1])
+        else:  # EVENT_ARRIVAL
+            self._arrival(payload[1], payload[2])
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, wave_idx: int) -> None:
+        """Sample, train and schedule one client wave's uploads.
+
+        The wave is the synchronous engine's round-``wave_idx`` cohort
+        (same sampling stream) and trains in one batched pass against
+        the *current* model — traffic offsets and latencies delay only
+        when each upload lands, which is where staleness comes from.
+        """
+        self.queue.push(
+            (wave_idx + 1) * self.config.round_interval,
+            PRIORITY_DISPATCH,
+            (EVENT_DISPATCH, wave_idx + 1),
+        )
+        sampled = self.server.sample_users(
+            self.total_users, self.train_cfg.users_per_round, wave_idx
+        )
+        batch = self.batch_engine.compute_round_batch(wave_idx, sampled)
+        uploads = batch.to_updates()
+        schedule = self.plan.wave_schedule(wave_idx, len(uploads))
+        self.waves_dispatched += 1
+        self.clients_dispatched += len(uploads)
+        arrival_offsets = schedule.arrival_offsets()
+        for pos, update in enumerate(uploads):
+            if schedule.cancelled[pos]:
+                self.uploads_cancelled += 1
+                continue
+            self.queue.push(
+                self.clock.now + float(arrival_offsets[pos]),
+                PRIORITY_ARRIVAL,
+                (EVENT_ARRIVAL, update, self.version),
+            )
+        self._arm_deadline()
+
+    def _arrival(self, update: ClientUpdate, origin_version: int) -> None:
+        self.uploads_arrived += 1
+        self.aggregator.add(update, origin_version)
+        self._arm_deadline()
+        if len(self.aggregator) >= self.k:
+            self._close_round(by_deadline=False)
+
+    def _deadline(self, round_idx: int) -> None:
+        if round_idx != self.version:
+            return  # stale deadline of an already-closed round
+        self._close_round(by_deadline=True)
+
+    def _arm_deadline(self) -> None:
+        """Schedule the open round's deadline on its first activity."""
+        if not self.deadline_armed:
+            self.queue.push(
+                self.clock.now + self.config.round_deadline,
+                PRIORITY_DEADLINE,
+                (EVENT_DEADLINE, self.version),
+            )
+            self.deadline_armed = True
+
+    def _close_round(self, *, by_deadline: bool) -> None:
+        """Flush the buffer through the server and advance the version."""
+        flushed = self.aggregator.flush(self.version)
+        self.uploads_applied += flushed.applied
+        self.stale_applied += flushed.stale_applied
+        self.stale_dropped += flushed.stale_dropped
+        self.max_staleness_applied = max(
+            self.max_staleness_applied, flushed.max_delay
+        )
+        if by_deadline:
+            self.rounds_closed_by_deadline += 1
+            if flushed.batch.num_clients == 0:
+                self.empty_rounds += 1
+        else:
+            self.rounds_closed_by_buffer += 1
+        # An empty flush still goes through apply_batch so quorum
+        # accounting matches an empty synchronous round exactly.
+        self.server.apply_batch(flushed.batch)
+        self.version += 1
+        self.deadline_armed = False
+
+    # ------------------------------------------------------------------
+    # Stats / checkpoint
+    # ------------------------------------------------------------------
+
+    def stats(self) -> AsyncStats:
+        return AsyncStats(
+            waves_dispatched=self.waves_dispatched,
+            clients_dispatched=self.clients_dispatched,
+            uploads_cancelled=self.uploads_cancelled,
+            uploads_arrived=self.uploads_arrived,
+            uploads_applied=self.uploads_applied,
+            stale_applied=self.stale_applied,
+            stale_dropped=self.stale_dropped,
+            max_staleness_applied=self.max_staleness_applied,
+            rounds_closed_by_buffer=self.rounds_closed_by_buffer,
+            rounds_closed_by_deadline=self.rounds_closed_by_deadline,
+            empty_rounds=self.empty_rounds,
+            uploads_in_flight=self.queue.count(PRIORITY_ARRIVAL),
+            uploads_buffered=len(self.aggregator),
+        )
+
+    _COUNTERS = (
+        "waves_dispatched",
+        "clients_dispatched",
+        "uploads_cancelled",
+        "uploads_arrived",
+        "uploads_applied",
+        "stale_applied",
+        "stale_dropped",
+        "max_staleness_applied",
+        "rounds_closed_by_buffer",
+        "rounds_closed_by_deadline",
+        "empty_rounds",
+    )
+
+    def state(self) -> dict:
+        """Mutable event-loop state for checkpoint capture.
+
+        The queue's heap entries carry the in-flight uploads (their
+        gradient arrays pickle with them), so a resumed process
+        replays the exact remaining event sequence; the wave plan and
+        sampling streams are stateless spawns and need no capture.
+        """
+        return {
+            "clock": self.clock.now,
+            "queue": self.queue.state(),
+            "buffer": self.aggregator.state(),
+            "version": self.version,
+            "deadline_armed": self.deadline_armed,
+            "counters": {name: getattr(self, name) for name in self._COUNTERS},
+        }
+
+    def restore(self, state: dict) -> None:
+        self.clock = VirtualClock(state["clock"])
+        self.queue.restore(state["queue"])
+        self.aggregator.restore(state["buffer"])
+        self.version = int(state["version"])
+        self.deadline_armed = bool(state["deadline_armed"])
+        for name, value in state["counters"].items():
+            setattr(self, name, value)

@@ -196,7 +196,41 @@ class BatchClientEngine:
             if backend.fallback_calls > fallbacks_before:
                 self.kernel_fallback_rounds += 1
 
+    def compute_round_batch(
+        self, round_idx: int, sampled: np.ndarray
+    ) -> UpdateBatch:
+        """One round's assembled :class:`UpdateBatch`, *not* applied.
+
+        Runs the full client side of a round — malicious cohort pass,
+        batched benign local training (participants' private state
+        advances), splice — inside the engine's kernel scope, and
+        returns the assembled batch instead of handing it to the
+        server.  The asynchronous engine uses this to train a wave at
+        dispatch time and decide later when each upload aggregates;
+        because the RNG streams are keyed only by ``round_idx``, the
+        batch is bit-identical to what :meth:`run_round` would have
+        produced for the same round.  The fault-controller hook is
+        *not* applied — transport faults are the synchronous loop's
+        churn model, and the two layers are mutually exclusive.
+
+        Kernel-fallback accounting is left to the caller's scope so a
+        wave is never double-counted.
+        """
+        with kernels.use(self.kernel_backend):
+            return self._compute_round(round_idx, sampled)
+
     def _run_round(self, round_idx: int, sampled: np.ndarray) -> None:
+        round_batch = self._compute_round(round_idx, sampled)
+        if self.fault_controller is not None:
+            # Transport faults strike between upload and aggregation:
+            # local training above already happened (dropped clients'
+            # private state advanced), only the server's view changes.
+            round_batch = self.fault_controller.apply_to_batch(
+                round_batch, [int(u) for u in sampled], round_idx
+            )
+        self.server.apply_batch(round_batch)
+
+    def _compute_round(self, round_idx: int, sampled: np.ndarray) -> UpdateBatch:
         num_benign = self.num_benign
         sampled_list = [int(user_id) for user_id in sampled]
         benign_ids = np.array(
@@ -235,17 +269,9 @@ class BatchClientEngine:
                     malicious_by_pos[pos] = update
 
         batch = self._benign_batch_step(benign_ids, round_idx)
-        round_batch = self._assemble(
+        return self._assemble(
             sampled_list, num_benign, benign_ids, malicious_by_pos, batch
         )
-        if self.fault_controller is not None:
-            # Transport faults strike between upload and aggregation:
-            # local training above already happened (dropped clients'
-            # private state advanced), only the server's view changes.
-            round_batch = self.fault_controller.apply_to_batch(
-                round_batch, sampled_list, round_idx
-            )
-        self.server.apply_batch(round_batch)
 
     # ------------------------------------------------------------------
     # Benign local training, batched

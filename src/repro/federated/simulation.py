@@ -38,7 +38,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 
@@ -52,6 +51,7 @@ from repro.config import AttackConfig, ExperimentConfig
 from repro.datasets.base import InteractionDataset
 from repro.datasets.loaders import load_dataset
 from repro.defenses.registry import build_server_defense, client_regularizer_factory
+from repro.federated.async_engine import AsyncFederationEngine, AsyncStats
 from repro.federated.audit import ServerAuditLog
 from repro.federated.batch_engine import BatchClientEngine
 from repro.federated.faults import FaultController, FaultStats
@@ -93,6 +93,9 @@ class SimulationResult:
     #: Fault/mitigation accounting of the run — all-zero (and
     #: ``not fault_stats.any_fault``) for an ideal-synchronous run.
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    #: Asynchrony accounting — all-zero (``not async_stats.any_async``)
+    #: for a synchronous run.
+    async_stats: AsyncStats = field(default_factory=AsyncStats)
 
 
 class FederatedSimulation:
@@ -217,6 +220,35 @@ class FederatedSimulation:
             if engine == "batch"
             else None
         )
+        # The asynchronous event-driven mode wraps the batch engine
+        # (whose per-wave math and RNG streams it reuses verbatim); the
+        # reference loop has no async counterpart, and the synchronous
+        # fault layer models churn/latency its own way — combining the
+        # two would double-apply a failure model, so both are rejected
+        # loudly rather than silently composed.
+        if config.asynchrony.enabled:
+            if engine != "batch":
+                raise ValueError(
+                    "asynchronous federation requires engine='batch' "
+                    "(the event loop reuses the batched wave math)"
+                )
+            if config.faults.injects_faults:
+                raise ValueError(
+                    "asynchrony and fault injection are mutually "
+                    "exclusive: model churn/latency via AsyncConfig "
+                    "(server-side min_quorum / max_upload_norm still "
+                    "apply)"
+                )
+            self._async_engine = AsyncFederationEngine(
+                batch_engine=self._batch_engine,
+                server=self.server,
+                config=config.asynchrony,
+                train_cfg=config.train,
+                total_users=self.total_users,
+                seed=config.seed,
+            )
+        else:
+            self._async_engine = None
 
     # ------------------------------------------------------------------
     # Target selection
@@ -241,7 +273,16 @@ class FederatedSimulation:
         return len(self.benign_clients) + len(self.malicious_clients)
 
     def run_round(self, round_idx: int) -> None:
-        """Execute one communication round (steps 1-4 of Section III-A)."""
+        """Execute one communication round (steps 1-4 of Section III-A).
+
+        Under asynchrony one "round" is one *aggregation*: the event
+        loop advances — dispatching waves, landing uploads — until
+        aggregation ``round_idx`` closes, so evaluation cadence and
+        checkpoint boundaries are identical in both modes.
+        """
+        if self._async_engine is not None:
+            self._async_engine.run_round(round_idx)
+            return
         sampled = self.server.sample_users(
             self.total_users, self.config.train.users_per_round, round_idx
         )
@@ -287,39 +328,47 @@ class FederatedSimulation:
         history_stride: int = 1,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 0,
+        checkpoint_keep: int = 3,
         resume: bool = True,
     ) -> SimulationResult:
         """Train for ``rounds`` rounds, evaluating per the train config.
 
-        With ``checkpoint_dir`` set, the run writes an atomic rolling
-        checkpoint (``checkpoint.pkl``) every ``checkpoint_every``
-        rounds and — when ``resume`` is true and one exists — picks up
-        from it instead of round 0.  The resume contract is
-        bit-identity: a run resumed at round ``r`` produces exactly
-        the model, metrics and fault accounting of the uninterrupted
-        run (everything per-round is derived statelessly from the
-        seed, so restoring the mutable arrays restores the
-        trajectory).  Only ``seconds_per_round`` — wall-clock over the
-        rounds this process actually executed — is exempt.  The
-        simulation must be constructed from the same config, dataset
-        and engine that wrote the checkpoint (enforced via a config
-        digest and the target-item set).
+        With ``checkpoint_dir`` set, the run writes an atomic versioned
+        checkpoint (``checkpoint-r<round>.pkl``) every
+        ``checkpoint_every`` rounds, keeps only the newest
+        ``checkpoint_keep`` of them (older files are pruned after each
+        successful write, so a crash mid-write still leaves the
+        previous survivors), and — when ``resume`` is true and one
+        exists — picks up from the newest instead of round 0 (a legacy
+        rolling ``checkpoint.pkl`` is honoured as a fallback).  The
+        resume contract is bit-identity: a run resumed at round ``r``
+        produces exactly the model, metrics and fault/async accounting
+        of the uninterrupted run (everything per-round is derived
+        statelessly from the seed — and under asynchrony the event
+        queue travels inside the checkpoint — so restoring the mutable
+        state restores the trajectory).  Only ``seconds_per_round`` —
+        wall-clock over the rounds this process actually executed — is
+        exempt.  The simulation must be constructed from the same
+        config, dataset and engine that wrote the checkpoint (enforced
+        via a config digest and the target-item set).
         """
         train_cfg = self.config.train
         rounds = train_cfg.rounds if rounds is None else rounds
+        if checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
         history: list[EvalRecord] = []
         item_history: list[np.ndarray] = []
         start_round = 0
-        checkpoint_path = None
         if checkpoint_dir is not None:
             from repro import persistence
 
-            checkpoint_path = os.path.join(checkpoint_dir, "checkpoint.pkl")
-            if resume and os.path.exists(checkpoint_path):
-                payload = persistence.load_checkpoint(checkpoint_path)
-                start_round, history, item_history = self.restore_checkpoint(
-                    payload
-                )
+            if resume:
+                newest = persistence.latest_checkpoint(checkpoint_dir)
+                if newest is not None:
+                    payload = persistence.load_checkpoint(newest)
+                    start_round, history, item_history = self.restore_checkpoint(
+                        payload
+                    )
         started = time.perf_counter()
         executed = 0
         for round_idx in range(start_round, rounds):
@@ -331,7 +380,7 @@ class FederatedSimulation:
                 exposure, hit_ratio = self.evaluate()
                 history.append(EvalRecord(round_idx + 1, exposure, hit_ratio))
             if (
-                checkpoint_path is not None
+                checkpoint_dir is not None
                 and checkpoint_every
                 and (round_idx + 1) % checkpoint_every == 0
                 # Skip the write only when nothing is left to resume:
@@ -344,9 +393,10 @@ class FederatedSimulation:
                 from repro import persistence
 
                 persistence.save_checkpoint(
-                    checkpoint_path,
+                    persistence.checkpoint_path(checkpoint_dir, round_idx + 1),
                     self.checkpoint_payload(round_idx + 1, history, item_history),
                 )
+                persistence.prune_checkpoints(checkpoint_dir, checkpoint_keep)
         elapsed = time.perf_counter() - started
         if record_item_history:
             item_history.append(self.model.snapshot_items())
@@ -369,6 +419,7 @@ class FederatedSimulation:
             item_history=item_history,
             seconds_per_round=elapsed / max(executed, 1),
             fault_stats=self.fault_stats(),
+            async_stats=self.async_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -433,6 +484,14 @@ class FederatedSimulation:
             "fault_state": self.fault_controller.state()
             if self.fault_controller is not None
             else None,
+            # The async event loop's full state: virtual clock, event
+            # heap (in-flight uploads travel inside it), aggregation
+            # buffer, version and counters — everything a resumed
+            # process cannot re-derive (wave plans and sampling are
+            # stateless spawns and need no capture).
+            "async_state": self._async_engine.state()
+            if self._async_engine is not None
+            else None,
             "history": list(history or []),
             "item_history": list(item_history or []),
         }
@@ -486,6 +545,13 @@ class FederatedSimulation:
                     setattr(engine, name, value)
         if payload["fault_state"] is not None and self.fault_controller is not None:
             self.fault_controller.restore(payload["fault_state"])
+        if payload.get("async_state") is not None:
+            if self._async_engine is None:
+                raise ValueError(
+                    "checkpoint was written by an asynchronous run but "
+                    "this simulation's AsyncConfig is disabled"
+                )
+            self._async_engine.restore(payload["async_state"])
         return (
             payload["next_round"],
             list(payload["history"]),
@@ -506,6 +572,12 @@ class FederatedSimulation:
             quorum_failed_rounds=self.server.quorum_failed_rounds,
             quorum_dropped_uploads=self.server.quorum_dropped_uploads,
         )
+
+    def async_stats(self) -> AsyncStats:
+        """Current asynchrony accounting (all-zero when synchronous)."""
+        if self._async_engine is None:
+            return AsyncStats()
+        return self._async_engine.stats()
 
     # ------------------------------------------------------------------
     # Evaluation

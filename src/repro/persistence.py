@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.federated.async_engine import AsyncStats
 from repro.federated.faults import FaultStats
 from repro.federated.simulation import EvalRecord, SimulationResult
 from repro.models.base import RecommenderModel
@@ -38,6 +39,10 @@ __all__ = [
     "load_model",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_path",
+    "list_checkpoints",
+    "latest_checkpoint",
+    "prune_checkpoints",
     "save_sweep_entry",
     "load_sweep_entry",
     "CHECKPOINT_VERSION",
@@ -46,7 +51,14 @@ __all__ = [
 #: Version tag baked into every simulation checkpoint.  Bump whenever
 #: the checkpoint payload layout changes; loading a mismatched version
 #: raises instead of silently resuming from incompatible state.
-CHECKPOINT_VERSION = "ckpt-v1"
+#: v2: the payload gained an ``async_state`` key (the asynchronous
+#: engine's virtual clock, event heap and aggregation buffer).
+CHECKPOINT_VERSION = "ckpt-v2"
+
+#: Versioned checkpoint filenames: ``checkpoint-r<next_round>.pkl``.
+_CHECKPOINT_PREFIX = "checkpoint-r"
+#: Pre-retention rolling checkpoint name, honoured on resume only.
+_LEGACY_CHECKPOINT = "checkpoint.pkl"
 
 
 def _replace_into(path: str, write) -> None:
@@ -84,6 +96,7 @@ def save_result(result: SimulationResult, path: str) -> None:
             for rec in result.history
         ],
         "fault_stats": result.fault_stats.to_dict(),
+        "async_stats": result.async_stats.to_dict(),
     }
 
     def write(tmp_path: str) -> None:
@@ -108,6 +121,7 @@ def load_result(path: str) -> SimulationResult:
             for rec in payload["history"]
         ],
         fault_stats=FaultStats.from_dict(payload.get("fault_stats", {})),
+        async_stats=AsyncStats.from_dict(payload.get("async_stats", {})),
     )
 
 
@@ -146,6 +160,67 @@ def load_checkpoint(path: str) -> dict[str, Any]:
             f"{CHECKPOINT_VERSION!r}; re-run from scratch"
         )
     return envelope["payload"]
+
+
+def checkpoint_path(directory: str, next_round: int) -> str:
+    """The versioned checkpoint filename for a round boundary."""
+    return os.path.join(directory, f"{_CHECKPOINT_PREFIX}{next_round:06d}.pkl")
+
+
+def list_checkpoints(directory: str) -> list[tuple[int, str]]:
+    """All versioned checkpoints in ``directory``, oldest first.
+
+    Returns ``(next_round, path)`` pairs sorted by round.  Filenames
+    that merely look similar (temp files, foreign pickles) are
+    ignored rather than misparsed.
+    """
+    found: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return found
+    for name in names:
+        if not (name.startswith(_CHECKPOINT_PREFIX) and name.endswith(".pkl")):
+            continue
+        stem = name[len(_CHECKPOINT_PREFIX) : -len(".pkl")]
+        if stem.isdigit():
+            found.append((int(stem), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def latest_checkpoint(directory: str) -> str | None:
+    """Newest resumable checkpoint in ``directory``, or ``None``.
+
+    Versioned checkpoints win (the highest round); a legacy rolling
+    ``checkpoint.pkl`` written before retention existed is honoured
+    when no versioned file is present.
+    """
+    versioned = list_checkpoints(directory)
+    if versioned:
+        return versioned[-1][1]
+    legacy = os.path.join(directory, _LEGACY_CHECKPOINT)
+    return legacy if os.path.exists(legacy) else None
+
+
+def prune_checkpoints(directory: str, keep: int) -> list[str]:
+    """Delete all but the newest ``keep`` versioned checkpoints.
+
+    Each removal is a single atomic ``os.unlink`` of an older file, so
+    the newest checkpoint is never at risk: a crash mid-prune leaves
+    extra old files (harmless — resume picks the newest), never fewer
+    than ``keep``.  Returns the removed paths.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    removed = []
+    for _, path in list_checkpoints(directory)[:-keep]:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            continue
+        removed.append(path)
+    return removed
 
 
 def save_sweep_entry(path: str, *, key: str, kind: str, values: Any) -> None:

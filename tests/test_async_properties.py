@@ -1,0 +1,198 @@
+"""Property-based tests for the staleness layers.
+
+Two components hold uploads across round boundaries, and both must
+never lose, duplicate or reorder one:
+
+* :class:`repro.federated.faults.StalenessBuffer` — the synchronous
+  fault layer's straggler parking lot, keyed by due round.
+* :class:`repro.federated.async_engine.StalenessAggregator` — the
+  asynchronous engine's FedBuff buffer, flushed by count or deadline.
+
+Hypothesis drives them with randomized arrival/delay schedules and
+asserts the invariants the engines rely on: conservation (every entry
+accounted exactly once), monotonicity (the staleness discount never
+grows with delay), and determinism (same schedule ⇒ same flush order
+and bit-identical arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.async_engine import StalenessAggregator
+from repro.federated.faults import DeferredUpload, StalenessBuffer
+from repro.federated.payload import ClientUpdate
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+def _update(user_id: int, seed: int, dim: int = 4) -> ClientUpdate:
+    rng = np.random.default_rng(seed)
+    num_items = int(rng.integers(1, 5))
+    item_ids = rng.choice(32, size=num_items, replace=False)
+    return ClientUpdate(
+        user_id=user_id,
+        item_ids=item_ids,
+        item_grads=rng.standard_normal((num_items, dim)),
+        malicious=bool(user_id % 3 == 0),
+    )
+
+
+def _deferred(user_id: int, seed: int, discount: float) -> DeferredUpload:
+    upd = _update(user_id, seed)
+    return DeferredUpload(
+        user_id=upd.user_id,
+        item_ids=upd.item_ids,
+        item_grads=upd.item_grads,
+        param_grads=[],
+        malicious=upd.malicious,
+        discount=discount,
+        origin_round=0,
+    )
+
+
+#: A randomized deferral schedule: (user_id, due_round) pairs.
+schedules = st.lists(
+    st.tuples(st.integers(0, 99), st.integers(0, 12)),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestStalenessBufferProperties:
+    @FAST
+    @given(schedule=schedules)
+    def test_every_deferral_pops_exactly_once(self, schedule):
+        buffer = StalenessBuffer()
+        for uid, due in schedule:
+            buffer.defer(due, _deferred(uid, uid, 0.5))
+        assert buffer.pending == len(schedule)
+        popped = []
+        for round_idx in range(14):
+            popped.extend(buffer.pop_due(round_idx))
+            # Popping the same round again yields nothing.
+            assert buffer.pop_due(round_idx) == []
+        assert buffer.pending == 0
+        assert len(popped) == len(schedule)
+
+    @FAST
+    @given(schedule=schedules)
+    def test_fifo_within_each_due_round(self, schedule):
+        buffer = StalenessBuffer()
+        for order, (uid, due) in enumerate(schedule):
+            upload = _deferred(uid, uid, 0.5)
+            # Record the insertion order in the origin_round field.
+            upload = DeferredUpload(
+                user_id=upload.user_id,
+                item_ids=upload.item_ids,
+                item_grads=upload.item_grads,
+                param_grads=upload.param_grads,
+                malicious=upload.malicious,
+                discount=upload.discount,
+                origin_round=order,
+            )
+            buffer.defer(due, upload)
+        for round_idx in range(14):
+            orders = [u.origin_round for u in buffer.pop_due(round_idx)]
+            assert orders == sorted(orders)
+
+    @FAST
+    @given(
+        delay=st.integers(1, 8),
+        discount=st.floats(0.05, 1.0),
+    )
+    def test_discount_monotone_in_delay(self, delay, discount):
+        shallow = _deferred(1, 1, discount**delay)
+        deeper = _deferred(1, 1, discount ** (delay + 1))
+        norm_shallow = np.abs(shallow.discounted_grads()).sum()
+        norm_deeper = np.abs(deeper.discounted_grads()).sum()
+        assert norm_deeper <= norm_shallow + 1e-12
+
+
+#: Buffered-aggregation schedules: (user_id, origin_version) pairs
+#: flushed at a version at or after every origin.
+agg_schedules = st.lists(
+    st.tuples(st.integers(0, 99), st.integers(0, 6)),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestStalenessAggregatorProperties:
+    @FAST
+    @given(schedule=agg_schedules, current=st.integers(6, 10),
+           max_staleness=st.integers(0, 8))
+    def test_conservation(self, schedule, current, max_staleness):
+        agg = StalenessAggregator(0.5, max_staleness)
+        for uid, origin in schedule:
+            agg.add(_update(uid, uid), origin)
+        assert len(agg) == len(schedule)
+        result = agg.flush(current)
+        # Every buffered entry either applied or dropped; buffer empty.
+        assert result.applied + result.stale_dropped == len(schedule)
+        assert result.batch.num_clients == result.applied
+        assert len(agg) == 0
+        # A second flush is empty, not a replay.
+        again = agg.flush(current + 1)
+        assert again.applied == 0 and again.stale_dropped == 0
+
+    @FAST
+    @given(schedule=agg_schedules, current=st.integers(6, 10))
+    def test_flush_deterministic_and_order_preserving(self, schedule, current):
+        def run():
+            agg = StalenessAggregator(0.5, max_staleness=0)
+            for uid, origin in schedule:
+                agg.add(_update(uid, uid), origin)
+            return agg.flush(current)
+
+        a, b = run(), run()
+        assert a.applied == b.applied
+        assert a.batch.user_ids.tobytes() == b.batch.user_ids.tobytes()
+        assert a.batch.item_grads.tobytes() == b.batch.item_grads.tobytes()
+        # Arrival order is preserved through the flush.
+        assert list(a.batch.user_ids) == [uid for uid, _ in schedule]
+
+    @FAST
+    @given(uid=st.integers(0, 99), origin=st.integers(0, 6),
+           extra=st.integers(1, 4))
+    def test_discount_monotone_in_flush_delay(self, uid, origin, extra):
+        def flushed_norm(current):
+            agg = StalenessAggregator(0.5, max_staleness=0)
+            agg.add(_update(uid, uid), origin)
+            return np.abs(agg.flush(current).batch.item_grads).sum()
+
+        near = flushed_norm(origin + 1)
+        far = flushed_norm(origin + 1 + extra)
+        assert far <= near + 1e-12
+
+    @FAST
+    @given(schedule=agg_schedules)
+    def test_fresh_uploads_pass_through_untouched(self, schedule):
+        agg = StalenessAggregator(0.25, max_staleness=0)
+        originals = []
+        for uid, _ in schedule:
+            upd = _update(uid, uid)
+            originals.append(upd.item_grads.copy())
+            agg.add(upd, 7)  # origin == flush version: delay 0
+        result = agg.flush(7)
+        assert result.stale_applied == 0
+        row = 0
+        for grads in originals:
+            got = result.batch.item_grads[row : row + len(grads)]
+            assert got.tobytes() == grads.tobytes()
+            row += len(grads)
+
+    @FAST
+    @given(current=st.integers(3, 8), max_staleness=st.integers(1, 5))
+    def test_max_staleness_boundary(self, current, max_staleness):
+        agg = StalenessAggregator(0.5, max_staleness)
+        at_limit = current - max_staleness        # delay == max: kept
+        beyond = current - max_staleness - 1      # delay == max+1: dropped
+        agg.add(_update(1, 1), at_limit)
+        agg.add(_update(2, 2), beyond)
+        result = agg.flush(current)
+        assert result.applied == 1
+        assert result.stale_dropped == 1
+        assert result.max_delay == max_staleness

@@ -221,7 +221,8 @@ class TestResumeGuards:
     def test_version_mismatch_raises(self, tiny_dataset, tmp_path):
         cfg = _config("mf")
         ckpt_dir = self._checkpointed(cfg, tiny_dataset, tmp_path)
-        path = os.path.join(ckpt_dir, "checkpoint.pkl")
+        path = persistence.latest_checkpoint(ckpt_dir)
+        assert path is not None
         with open(path, "rb") as handle:
             envelope = pickle.load(handle)
         envelope["version"] = "ckpt-v0"
@@ -246,6 +247,79 @@ class TestResumeGuards:
         reference = FederatedSimulation(cfg, tiny_dataset).run()
         assert result.exposure == reference.exposure
         assert result.hit_ratio == reference.hit_ratio
+
+
+class TestRetention:
+    """Versioned checkpoints with ``checkpoint_keep`` pruning."""
+
+    def test_keep_bounds_file_count(self, tiny_dataset, tmp_path):
+        cfg = _config("mf")
+        ckpt_dir = str(tmp_path / "ckpt")
+        sim = FederatedSimulation(cfg, tiny_dataset)
+        sim.run(rounds=9, checkpoint_dir=ckpt_dir, checkpoint_every=2,
+                checkpoint_keep=2)
+        rounds = [r for r, _ in persistence.list_checkpoints(ckpt_dir)]
+        # Boundaries 2,4,6,8 were written; only the newest two survive.
+        assert rounds == [6, 8]
+
+    def test_resume_from_newest_survivor_is_bit_identical(
+        self, tiny_dataset, tmp_path
+    ):
+        cfg = _config("mf", faults=FAULTS)
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+
+        ckpt_dir = str(tmp_path / "ckpt")
+        first = FederatedSimulation(cfg, tiny_dataset)
+        first.run(rounds=7, checkpoint_dir=ckpt_dir, checkpoint_every=2,
+                  checkpoint_keep=2)
+        assert persistence.latest_checkpoint(ckpt_dir).endswith(
+            "checkpoint-r000006.pkl"
+        )
+        resumed = FederatedSimulation(cfg, tiny_dataset)
+        result = resumed.run(
+            checkpoint_dir=ckpt_dir, checkpoint_every=2, checkpoint_keep=2
+        )
+        _assert_identical(_final_state(resumed, result), ref_state)
+
+    def test_legacy_rolling_checkpoint_resumes(self, tiny_dataset, tmp_path):
+        # A pre-retention run left a single rolling checkpoint.pkl;
+        # resume must pick it up when no versioned file exists.
+        cfg = _config("mf")
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+
+        ckpt_dir = str(tmp_path / "ckpt")
+        first = FederatedSimulation(cfg, tiny_dataset)
+        first.run(rounds=4, checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        newest = persistence.latest_checkpoint(ckpt_dir)
+        legacy = os.path.join(ckpt_dir, "checkpoint.pkl")
+        os.replace(newest, legacy)
+        for _, stale in persistence.list_checkpoints(ckpt_dir):
+            os.unlink(stale)
+        assert persistence.latest_checkpoint(ckpt_dir) == legacy
+
+        resumed = FederatedSimulation(cfg, tiny_dataset)
+        result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        _assert_identical(_final_state(resumed, result), ref_state)
+
+    def test_prune_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            persistence.prune_checkpoints(str(tmp_path), 0)
+
+    def test_run_rejects_bad_keep(self, tiny_dataset, tmp_path):
+        sim = FederatedSimulation(_config("mf"), tiny_dataset)
+        with pytest.raises(ValueError, match="checkpoint_keep"):
+            sim.run(checkpoint_dir=str(tmp_path), checkpoint_keep=0)
+
+    def test_foreign_files_ignored(self, tmp_path):
+        d = str(tmp_path)
+        open(os.path.join(d, "checkpoint-rabc.pkl"), "w").close()
+        open(os.path.join(d, "checkpoint-r000004.pkl.123.tmp"), "w").close()
+        open(os.path.join(d, "notes.txt"), "w").close()
+        assert persistence.list_checkpoints(d) == []
+        assert persistence.latest_checkpoint(d) is None
+        assert persistence.prune_checkpoints(d, 1) == []
 
 
 class TestAtomicWrites:

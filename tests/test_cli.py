@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.cli import _plot_figure, main
+from repro.cli import _plot_figure, main, parse_async_spec, parse_fault_spec
 from repro.experiments.reporting import TableResult
 
 
@@ -70,6 +70,109 @@ class TestRun:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSpecParsing:
+    """key=value spec parsers: aliases, conversion, did-you-mean."""
+
+    def test_fault_spec_parses_aliases_and_full_names(self):
+        cfg = parse_fault_spec("dropout=0.2,straggler_rate=0.1,quorum=4")
+        assert cfg.dropout_rate == 0.2
+        assert cfg.straggler_rate == 0.1
+        assert cfg.min_quorum == 4
+
+    def test_async_spec_parses_and_forces_enabled(self):
+        cfg = parse_async_spec(
+            "traffic=poisson,rate=6,churn=0.1,k=8,deadline=1.5,max-stale=3"
+        )
+        assert cfg.enabled is True
+        assert cfg.traffic == "poisson"
+        assert cfg.arrival_rate == 6.0
+        assert cfg.churn_rate == 0.1
+        assert cfg.buffer_size == 8
+        assert cfg.round_deadline == 1.5
+        assert cfg.max_staleness == 3
+
+    def test_async_empty_spec_is_degenerate(self):
+        from repro.config import AsyncConfig
+
+        assert parse_async_spec("") == AsyncConfig(enabled=True)
+
+    def test_async_trace_offsets_colon_separated(self):
+        cfg = parse_async_spec("traffic=trace,trace=0.0:0.5:1.25")
+        assert cfg.trace_offsets == (0.0, 0.5, 1.25)
+
+    def test_fault_typo_suggests_field(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError) as err:
+            parse_fault_spec("dropuot=0.2")
+        message = str(err.value)
+        assert "did you mean 'dropout'" in message
+        assert "valid keys" in message
+        assert "straggler_rate" in message
+
+    def test_async_typo_suggests_field(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError) as err:
+            parse_async_spec("dedline=2")
+        assert "did you mean 'deadline'" in str(err.value)
+
+    def test_unknown_key_without_close_match_lists_fields(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError) as err:
+            parse_async_spec("zzzzqqq=1")
+        message = str(err.value)
+        assert "did you mean" not in message
+        assert "valid keys" in message
+
+    def test_not_key_value_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="key=value"):
+            parse_async_spec("poisson")
+
+    def test_bad_value_type_reported(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="cannot parse"):
+            parse_async_spec("rate=fast")
+
+    def test_invalid_config_value_reported(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="churn"):
+            parse_async_spec("churn=2.0")
+
+    def test_cli_rejects_bad_spec_with_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--async", "dedline=2"])
+        assert err.value.code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_run_async_prints_counter_table(self, capsys):
+        code = main(
+            [
+                "run", "--attack", "pieck_uea", "--rounds", "3",
+                "--async", "traffic=poisson,rate=8,network=0.5,churn=0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime counters:" in out
+        assert "waves dispatched" in out
+        assert "uploads cancelled" in out
+
+    def test_run_degenerate_async_matches_sync_output(self, capsys):
+        main(["run", "--rounds", "2", "--seed", "5"])
+        sync_out = capsys.readouterr().out
+        main(["run", "--rounds", "2", "--seed", "5", "--async", ""])
+        async_out = capsys.readouterr().out
+        sync_metrics = [ln for ln in sync_out.splitlines() if "ER@10" in ln]
+        async_metrics = [ln for ln in async_out.splitlines() if "ER@10" in ln]
+        assert sync_metrics == async_metrics
 
 
 class TestFigurePlots:
