@@ -17,10 +17,11 @@ points call :func:`emit_bench_json` directly.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Any
+
+from repro.persistence import save_json_digested
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -32,11 +33,11 @@ def emit_bench_json(name: str, payload: dict[str, Any]) -> str:
 
     ``payload`` must be JSON-serialisable; the harness adds the bench
     name and a wall-clock timestamp so runs are orderable across PRs.
+    The file goes through the same atomic write-temp + ``os.replace``
+    + sha256-digest path as result JSONs, so a bencher killed mid-write
+    can't leave a torn trajectory file, and ``repro fsck`` verifies it.
     """
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     record = {"bench": name, "recorded_unix": round(time.time(), 3), **payload}
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-    with open(path, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    save_json_digested(path, record, indent=2)
     return path

@@ -23,6 +23,12 @@ Commands
     print the Eq. 11 prediction vs the measured poison share for every
     attacked item.
 
+``fsck``
+    Walk a cache/checkpoint/result tree and verify every digest-
+    stamped file; report verified / legacy / corrupt counts, and with
+    ``--repair`` move corrupt files aside (quarantine) so the next
+    sweep re-executes them instead of tripping over them.
+
 ``list``
     Show the available datasets, attacks, defenses and experiment ids.
 """
@@ -330,6 +336,34 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="declare the pool hung after this long with no completion",
     )
+    sweep.add_argument(
+        "--backend",
+        choices=("local", "shared"),
+        default="local",
+        help="'local' = this process only (inline or pool); 'shared' = "
+        "cooperate with other workers pointed at the same --cache-dir "
+        "through lease files (requires --cache-dir)",
+    )
+    sweep.add_argument(
+        "--owner",
+        metavar="ID",
+        default=None,
+        help="worker identity recorded in lease files (--backend shared; "
+        "default: hostname-pid)",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="a lease not heartbeated for this long is considered "
+        "abandoned and reclaimed (--backend shared; default 30)",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the cell grid (cached vs pending) without executing",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", choices=sorted(_FIGURES))
@@ -352,6 +386,19 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--defense", default="none", choices=DEFENSE_NAMES)
     audit.add_argument("--rounds", type=int, default=None)
     audit.add_argument("--seed", type=int, default=0)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify cache/checkpoint/result file integrity"
+    )
+    fsck.add_argument(
+        "path", help="file or directory tree to verify (e.g. a --cache-dir)"
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt files (move aside as *.quarantined) so "
+        "later runs re-execute them",
+    )
 
     sub.add_parser("list", help="list datasets, attacks, defenses, experiments")
     return parser
@@ -468,30 +515,103 @@ def _command_audit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.sweep import SweepRunner
+def _unknown_table_ids(ids: Sequence[str]) -> str | None:
+    """Error text for unknown table ids, with a did-you-mean hint."""
+    import difflib
 
-    unknown = [table_id for table_id in args.ids if table_id not in _TABLES]
-    if unknown:
-        print(
-            f"unknown table id(s): {', '.join(unknown)} "
-            f"(choose from {', '.join(sorted(_TABLES, key=lambda x: int(x)))})",
-            file=sys.stderr,
+    unknown = [table_id for table_id in ids if table_id not in _TABLES]
+    if not unknown:
+        return None
+    valid = sorted(_TABLES, key=lambda x: int(x))
+    hints = []
+    for table_id in unknown:
+        close = difflib.get_close_matches(table_id, valid, n=1)
+        # difflib struggles with one-character ids; strip obvious
+        # decorations ("table3", "t3", "#3") as a fallback.
+        if not close:
+            stripped = table_id.lstrip("table#t ").strip()
+            if stripped in _TABLES:
+                close = [stripped]
+        hints.append(
+            f"{table_id!r}" + (f" — did you mean {close[0]!r}?" if close else "")
         )
+    return (
+        f"unknown table id(s): {'; '.join(hints)} "
+        f"(choose from {', '.join(valid)})"
+    )
+
+
+def _print_dry_run_plan(table_id: str, plan: list[dict]) -> None:
+    """Render one table's cell grid: cached vs pending, no execution."""
+    cached = sum(1 for entry in plan if entry["cached"])
+    print(
+        f"table {table_id}: {len(plan)} cell(s) — "
+        f"{cached} cached, {len(plan) - cached} pending"
+    )
+    for entry in plan:
+        state = "cached " if entry["cached"] else "pending"
+        key = entry["key"][:12] if entry["key"] else "-"
+        print(
+            f"  [{state}] cell {entry['index']:3d}  kind={entry['kind']:<8} "
+            f"dataset={entry['dataset_key']:<10} key={key}"
+        )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import (
+        SharedCacheBackend,
+        SweepDryRun,
+        SweepRunner,
+    )
+
+    error = _unknown_table_ids(args.ids)
+    if error:
+        print(error, file=sys.stderr)
         raise SystemExit(2)
     ids = list(args.ids) or sorted(_TABLES, key=lambda x: int(x))
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    backend = None
+    if args.backend == "shared":
+        if not args.cache_dir:
+            print(
+                "--backend shared coordinates through the cache directory; "
+                "pass --cache-dir",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        backend = SharedCacheBackend(owner=args.owner, lease_ttl=args.lease_ttl)
     runner = SweepRunner(
         workers=workers,
         cache_dir=args.cache_dir,
         max_retries=args.max_retries,
         cell_timeout=args.cell_timeout,
+        backend=backend,
+        dry_run=args.dry_run,
     )
-    mode = f"{workers} workers" if workers >= 2 else "sequential"
+    if args.backend == "shared":
+        mode = f"shared cache, worker {backend.owner}"
+    elif workers >= 2:
+        mode = f"{workers} workers"
+    else:
+        mode = "sequential"
     cache = args.cache_dir if args.cache_dir else "disabled"
-    print(
-        f"sweep: tables {', '.join(ids)} ({mode}, cache: {cache})\n"
-    )
+    action = "dry run" if args.dry_run else "sweep"
+    print(f"{action}: tables {', '.join(ids)} ({mode}, cache: {cache})\n")
+    if args.dry_run:
+        total = cached = 0
+        for table_id in ids:
+            try:
+                _TABLES[table_id](runner=runner)
+            except SweepDryRun as plan:
+                _print_dry_run_plan(table_id, plan.plan)
+                total += len(plan.plan)
+                cached += sum(1 for entry in plan.plan if entry["cached"])
+            print()
+        print(
+            f"dry run: {total} cell(s) total — {cached} cached, "
+            f"{total - cached} pending; nothing executed"
+        )
+        return 0
     for table_id in ids:
         print(_TABLES[table_id](runner=runner))
         print()
@@ -500,12 +620,32 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"sweep finished: {stats.total} cells — "
         f"{stats.cache_hits} from cache, {stats.executed} executed"
     )
+    if stats.peer_served:
+        line += f", {stats.peer_served} served by peer workers"
     if stats.retries:
         line += f", {stats.retries} retried after worker failures"
+    if stats.reclaimed:
+        line += f", {stats.reclaimed} leases reclaimed from dead workers"
+    if stats.quarantined:
+        line += f", {stats.quarantined} corrupt entries quarantined"
     if args.cache_dir:
         line += f" (cache hit ratio {100 * stats.hit_ratio:.0f}%)"
     print(line)
     return 0
+
+
+def _command_fsck(args: argparse.Namespace) -> int:
+    from repro.persistence import fsck_paths
+
+    try:
+        report = fsck_paths(args.path, repair=args.repair)
+    except FileNotFoundError:
+        print(f"fsck: {args.path} does not exist", file=sys.stderr)
+        raise SystemExit(2) from None
+    print(report.summary())
+    for path in report.corrupt_paths:
+        print(f"  corrupt: {path}")
+    return 0 if report.clean else 1
 
 
 def _command_list() -> int:
@@ -540,6 +680,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "audit":
         return _command_audit(args)
+    if args.command == "fsck":
+        return _command_fsck(args)
     if args.command == "list":
         return _command_list()
     return 1  # pragma: no cover - argparse enforces valid commands

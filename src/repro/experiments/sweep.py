@@ -1,4 +1,4 @@
-"""Parallel sweep orchestrator: process-pool cell execution with caching.
+"""Parallel sweep orchestrator: pluggable cell execution with caching.
 
 The paper's evaluation is a grid of dozens of *independent* cells
 (attacks x models x datasets, defenses x models x attacks, ...).  With
@@ -10,23 +10,30 @@ module parallelises one layer up:
   :class:`CellSpec` holding one :class:`~repro.config.ExperimentConfig`,
   the key of a shared dataset, the evaluation cutoffs and a cell
   *kind*;
-* a :class:`SweepRunner` executes the declared cells either inline
-  (``workers <= 1``, the sequential reference path) or on a
-  ``ProcessPoolExecutor``: each shared dataset is generated exactly
-  once in the parent and shipped to every worker as one pickle-once
-  payload through the pool initializer, so no worker ever re-generates
-  a dataset;
+* a :class:`SweepRunner` decides what needs to run (cache hits, cell
+  keys, stats) and hands the pending cells to a pluggable
+  :class:`~repro.experiments.backend.ExecutionBackend`:
+  :class:`~repro.experiments.backend.LocalBackend` runs them inline or
+  on a self-healing ``ProcessPoolExecutor`` (the default, single
+  machine), and
+  :class:`~repro.experiments.backend.SharedCacheBackend` lets N
+  independent worker processes cooperatively drain one grid using only
+  the cache directory — atomic lease files with heartbeats, stale-lease
+  reclamation when a worker dies mid-cell;
 * a content-addressed on-disk cache (``cache_dir``) keyed by a stable
   hash of the experiment config, the dataset *content* fingerprint,
   the evaluation cutoffs and a code-version tag lets re-runs skip
   completed cells and interrupted sweeps resume — cache entries are
-  written through :mod:`repro.persistence` as each cell finishes.
+  written through :mod:`repro.persistence` (atomically, with a sha256
+  digest verified on every read) as each cell finishes.
 
 Per-cell determinism already holds (both engines are bit-identical and
 seeded), so parallel execution order cannot leak into results: a cell's
 value depends only on its spec and its dataset, never on which worker
 ran it or when.  The parity suite in ``tests/test_sweep.py`` asserts
-byte-identical cells between the pooled and sequential paths.
+byte-identical cells between the pooled and sequential paths, and
+``tests/test_distributed_backend.py`` extends the same contract to the
+multi-worker shared-cache path.
 """
 
 from __future__ import annotations
@@ -34,9 +41,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Mapping, Sequence
 
@@ -45,15 +49,28 @@ import numpy as np
 from repro.config import DatasetConfig, ExperimentConfig
 from repro.datasets.base import InteractionDataset
 from repro.datasets.loaders import load_dataset
+from repro.experiments.backend import (
+    BackendReport,
+    CellFailure,
+    ExecutionBackend,
+    LocalBackend,
+    SharedCacheBackend,
+    SweepExecutionError,
+)
 from repro.experiments.runner import Cell, run_cells
 from repro.federated.simulation import FederatedSimulation
 from repro.metrics.divergence import pairwise_kl, user_coverage_ratio
-from repro.persistence import load_sweep_entry, save_sweep_entry
+from repro.persistence import read_sweep_entry, save_sweep_entry
 
 __all__ = [
     "CACHE_VERSION",
+    "BackendReport",
     "CellSpec",
     "CellFailure",
+    "ExecutionBackend",
+    "LocalBackend",
+    "SharedCacheBackend",
+    "SweepDryRun",
     "SweepExecutionError",
     "SweepStats",
     "SweepRunner",
@@ -109,7 +126,15 @@ class CellSpec:
 
 @dataclass(frozen=True)
 class SweepStats:
-    """Execution accounting of one (or several accumulated) sweep runs."""
+    """Execution accounting of one (or several accumulated) sweep runs.
+
+    Every degradation path a sweep can take is counted here, never
+    silent: pool respawns (``retries``), stale-lease takeovers from
+    dead workers (``reclaimed``), corrupt cache entries moved aside
+    and re-executed (``quarantined``), cells another worker finished
+    for us (``peer_served``), and cells that stayed unfinished after
+    every recovery path (``failed``).
+    """
 
     total: int = 0
     cache_hits: int = 0
@@ -117,9 +142,18 @@ class SweepStats:
     #: Cell executions resubmitted to a respawned pool after a worker
     #: crash, a broken pool, or a completion timeout.
     retries: int = 0
-    #: Cells that still had no result when ``max_retries`` ran out
+    #: Cells that still had no result when every recovery path ran out
     #: (also enumerated on the raised :class:`SweepExecutionError`).
     failed: int = 0
+    #: Stale leases of dead workers taken over by this process
+    #: (shared-cache backend only).
+    reclaimed: int = 0
+    #: Corrupt or torn cache entries moved aside on read and
+    #: re-executed (counted as misses, never trusted).
+    quarantined: int = 0
+    #: Cells completed by a cooperating peer worker while this process
+    #: was draining the same grid (shared-cache backend only).
+    peer_served: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -133,35 +167,29 @@ class SweepStats:
             executed=self.executed + other.executed,
             retries=self.retries + other.retries,
             failed=self.failed + other.failed,
+            reclaimed=self.reclaimed + other.reclaimed,
+            quarantined=self.quarantined + other.quarantined,
+            peer_served=self.peer_served + other.peer_served,
         )
 
 
-@dataclass(frozen=True)
-class CellFailure:
-    """One cell the self-healing pool could not complete."""
+class SweepDryRun(Exception):
+    """Raised by :meth:`SweepRunner.run` in dry-run mode.
 
-    index: int  # position in the submitted cell list
-    kind: str
-    attempts: int
-    error: str  # last failure observed for this cell
-
-
-class SweepExecutionError(RuntimeError):
-    """Raised when cells remain unfinished after every retry.
-
-    Completed cells are already in the cache (entries are written the
-    moment each cell finishes), so rerunning the same sweep resumes
-    from them; ``failures`` lists exactly what is missing and why.
+    Carries the cell ``plan`` (one record per cell: index, kind, cache
+    key and whether the cache already holds it) instead of executing
+    anything.  Control-flow by design: table generators call
+    ``runner.run`` exactly once deep inside their formatting code, so
+    an exception is the only clean way to stop them before execution
+    while still surfacing the plan.
     """
 
-    def __init__(self, failures: Sequence[CellFailure]):
-        self.failures = tuple(failures)
-        detail = "; ".join(
-            f"cell {f.index} ({f.kind}) after {f.attempts} attempts: {f.error}"
-            for f in self.failures
-        )
+    def __init__(self, plan: list[dict[str, Any]]):
+        self.plan = plan
+        cached = sum(1 for entry in plan if entry["cached"])
         super().__init__(
-            f"{len(self.failures)} sweep cell(s) failed permanently: {detail}"
+            f"dry run: {len(plan)} cell(s), {cached} cached, "
+            f"{len(plan) - cached} pending"
         )
 
 
@@ -312,54 +340,39 @@ def cell_cache_key(spec: CellSpec, dataset_fp: str) -> str:
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing
-# ----------------------------------------------------------------------
-
-#: Per-worker dataset table, installed once by the pool initializer.
-_WORKER_DATASETS: dict[str, InteractionDataset] | None = None
-
-
-def _pool_initializer(payload: bytes) -> None:
-    """Unpickle the shared datasets once per worker process."""
-    global _WORKER_DATASETS
-    _WORKER_DATASETS = pickle.loads(payload)
-
-
-def _pool_execute(index: int, spec: CellSpec) -> tuple[int, Any]:
-    """Worker entry point: run one cell against the shipped dataset."""
-    assert _WORKER_DATASETS is not None, "pool initializer did not run"
-    return index, execute_cell(spec, _WORKER_DATASETS[spec.dataset_key])
-
-
-# ----------------------------------------------------------------------
 # The orchestrator
 # ----------------------------------------------------------------------
 
 class SweepRunner:
-    """Executes a list of cell specs, in parallel and/or from cache.
+    """Executes a list of cell specs, from cache and/or a backend.
 
-    ``workers <= 1`` runs every cell inline in the calling process (the
-    sequential reference path, and the default for table generators so
-    plain calls behave exactly as before).  ``workers >= 2`` runs
-    pending cells on a process pool; shared datasets are pickled once
-    and shipped through the pool initializer.
+    The runner owns the *what*: cache keys, hit/miss accounting,
+    dataset loading and fingerprinting.  The *how* is delegated to an
+    :class:`~repro.experiments.backend.ExecutionBackend`:
+
+    * By default a :class:`~repro.experiments.backend.LocalBackend` is
+      built from ``workers`` / ``max_retries`` / ``retry_backoff`` /
+      ``cell_timeout``, preserving the historical behaviour exactly —
+      ``workers <= 1`` runs every cell inline (the sequential
+      reference path), ``workers >= 2`` runs pending cells on a
+      self-healing process pool.
+    * Pass ``backend=SharedCacheBackend(...)`` (with ``cache_dir``
+      set) to make this process one of N independent workers
+      cooperatively draining the same grid through lease files in the
+      cache directory.
 
     With ``cache_dir`` set, each finished cell is written to a
-    content-addressed JSON entry the moment it completes, so an
-    interrupted sweep resumes from what it finished, and a repeated
-    sweep is served from cache entirely.  ``last_stats`` /
-    ``total_stats`` expose the hit/executed accounting.
+    content-addressed JSON entry (atomic, digest-stamped) the moment
+    it completes, so an interrupted sweep resumes from what it
+    finished, and a repeated sweep is served from cache entirely.
+    Entries are verified on read: a torn or bit-flipped entry is
+    quarantined (moved aside), counted in ``SweepStats.quarantined``
+    and re-executed — never trusted, never fatal.  ``last_stats`` /
+    ``total_stats`` expose the full accounting.
 
-    The pooled path is **self-healing**: a worker crash (a killed
-    process breaks the whole ``ProcessPoolExecutor``) or a completion
-    stall longer than ``cell_timeout`` no longer kills the sweep.  The
-    incomplete cells are resubmitted on a freshly spawned pool, with
-    exponential backoff (``retry_backoff * 2**attempt`` seconds), up
-    to ``max_retries`` extra pool lifetimes; cells that still have no
-    result then are reported in a structured
-    :class:`SweepExecutionError`.  Determinism makes retrying free of
-    semantics: a cell's value never depends on which pool (or which
-    attempt) computed it.
+    ``dry_run=True`` stops :meth:`run` right after the cache pass: the
+    per-cell plan (cached vs pending) is recorded in ``last_plan`` and
+    raised as :class:`SweepDryRun` without executing anything.
     """
 
     def __init__(
@@ -370,15 +383,19 @@ class SweepRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.5,
         cell_timeout: float | None = None,
+        backend: ExecutionBackend | None = None,
+        dry_run: bool = False,
     ):
-        if workers < 0:
-            raise ValueError("workers must be >= 0")
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if retry_backoff < 0:
-            raise ValueError("retry_backoff must be >= 0")
-        if cell_timeout is not None and cell_timeout <= 0:
-            raise ValueError("cell_timeout must be positive")
+        if backend is None:
+            backend = LocalBackend(
+                workers=workers,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                cell_timeout=cell_timeout,
+            )
+        elif isinstance(backend, SharedCacheBackend) and cache_dir is None:
+            raise ValueError("SharedCacheBackend requires cache_dir")
+        self.backend = backend
         self.workers = workers
         self.cache_dir = cache_dir
         #: Extra pool lifetimes granted to crashed/stalled cells.
@@ -389,14 +406,20 @@ class SweepRunner:
         #: before declaring the pool hung and respawning it; ``None``
         #: waits indefinitely.
         self.cell_timeout = cell_timeout
+        self.dry_run = dry_run
         self.last_stats = SweepStats()
         self.total_stats = SweepStats()
+        #: Cell plan recorded by the latest dry run (also carried on
+        #: the raised :class:`SweepDryRun`).
+        self.last_plan: list[dict[str, Any]] = []
         # Datasets this runner generated (and their fingerprints),
         # memoised by their frozen DatasetConfig: a multi-table sweep
         # through one runner generates and fingerprints each shared
         # dataset once, not once per table.
         self._loaded: dict[DatasetConfig, InteractionDataset] = {}
         self._fingerprints: dict[DatasetConfig, str] = {}
+        # Corrupt entries moved aside during the current run().
+        self._quarantined_this_run = 0
 
     # -- cache helpers -------------------------------------------------
 
@@ -405,7 +428,9 @@ class SweepRunner:
         return os.path.join(self.cache_dir, f"{key}.json")
 
     def _load_cached(self, key: str) -> Any | None:
-        entry = load_sweep_entry(self._entry_path(key))
+        entry, status = read_sweep_entry(self._entry_path(key))
+        if status == "quarantined":
+            self._quarantined_this_run += 1
         if entry is None or entry.get("key") != key:
             return None
         return entry["values"]
@@ -460,6 +485,7 @@ class SweepRunner:
                     # the runner cannot know they were left unmutated.
                     fingerprints[key] = dataset_fingerprint(value)
 
+        self._quarantined_this_run = 0
         results: list[Any] = [None] * len(cells)
         pending: list[tuple[int, str | None]] = []
         hits = 0
@@ -474,159 +500,61 @@ class SweepRunner:
                     continue
             pending.append((index, key))
 
-        retries = 0
-        if pending:
-            if self.workers >= 2 and len(pending) >= 2:
-                retries = self._run_pool(cells, loaded, pending, results, hits)
-            else:
-                for index, key in pending:
-                    spec = cells[index]
-                    results[index] = execute_cell(spec, loaded[spec.dataset_key])
-                    self._store(key, spec, results[index])
+        if self.dry_run:
+            pending_indices = {index for index, _ in pending}
+            self.last_plan = [
+                {
+                    "index": index,
+                    "kind": spec.kind,
+                    "dataset_key": spec.dataset_key,
+                    "key": (
+                        cell_cache_key(spec, fingerprints[spec.dataset_key])
+                        if self.cache_dir is not None
+                        else None
+                    ),
+                    "cached": index not in pending_indices,
+                }
+                for index, spec in enumerate(cells)
+            ]
+            raise SweepDryRun(self.last_plan)
 
-        self.last_stats = SweepStats(
-            total=len(cells),
-            cache_hits=hits,
-            executed=len(pending),
-            retries=retries,
-        )
-        self.total_stats = self.total_stats.merged(self.last_stats)
+        report = BackendReport()
+        if pending:
+            try:
+                report = self.backend.run_pending(
+                    cells=cells,
+                    loaded=loaded,
+                    pending=pending,
+                    results=results,
+                    store=self._store,
+                    load_cached=(
+                        self._load_cached
+                        if self.cache_dir is not None
+                        else lambda key: None
+                    ),
+                    entry_path=(
+                        self._entry_path if self.cache_dir is not None else None
+                    ),
+                )
+            except SweepExecutionError as exc:
+                self._record_stats(
+                    len(cells), hits, exc.report, failed=len(exc.failures)
+                )
+                raise
+        self._record_stats(len(cells), hits, report)
         return results
 
-    def _run_pool(
-        self,
-        cells: list[CellSpec],
-        loaded: dict[str, InteractionDataset],
-        pending: list[tuple[int, str | None]],
-        results: list[Any],
-        hits: int,
-    ) -> int:
-        """Run pending cells on a pool, respawning it on crashes.
-
-        One pool lifetime per attempt: every cell still missing a
-        result is (re)submitted, completions are cached the moment
-        they land, and whatever crashed or stalled rolls over to the
-        next attempt after an exponential backoff.  Returns the total
-        number of resubmitted cell executions; raises
-        :class:`SweepExecutionError` (with ``last_stats`` already
-        recorded) once ``max_retries`` pool lifetimes have not been
-        enough.
-        """
-        needed = {cells[index].dataset_key for index, _ in pending}
-        payload = pickle.dumps(
-            {key: loaded[key] for key in needed},
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        remaining = list(pending)
-        last_errors: dict[int, str] = {}
-        retries = 0
-        for attempt in range(self.max_retries + 1):
-            if attempt:
-                retries += len(remaining)
-                delay = self.retry_backoff * (2 ** (attempt - 1))
-                if delay:
-                    time.sleep(delay)
-            remaining = self._pool_attempt(
-                cells, payload, remaining, results, last_errors
-            )
-            if not remaining:
-                return retries
-        failures = [
-            CellFailure(
-                index=index,
-                kind=cells[index].kind,
-                attempts=self.max_retries + 1,
-                error=last_errors.get(index, "unknown failure"),
-            )
-            for index, _ in remaining
-        ]
+    def _record_stats(
+        self, total: int, hits: int, report: BackendReport, *, failed: int = 0
+    ) -> None:
         self.last_stats = SweepStats(
-            total=len(results),
+            total=total,
             cache_hits=hits,
-            executed=len(pending),
-            retries=retries,
-            failed=len(failures),
+            executed=report.executed,
+            retries=report.retries,
+            failed=failed,
+            reclaimed=report.reclaimed,
+            quarantined=self._quarantined_this_run,
+            peer_served=report.peer_served,
         )
         self.total_stats = self.total_stats.merged(self.last_stats)
-        raise SweepExecutionError(failures)
-
-    def _pool_attempt(
-        self,
-        cells: list[CellSpec],
-        payload: bytes,
-        remaining: list[tuple[int, str | None]],
-        results: list[Any],
-        last_errors: dict[int, str],
-    ) -> list[tuple[int, str | None]]:
-        """One pool lifetime; returns the cells that still need a run.
-
-        A single dead worker breaks the whole ``ProcessPoolExecutor``
-        (every outstanding future resolves to ``BrokenProcessPool``),
-        so anything unfinished when that happens simply rolls over.  A
-        stall — ``cell_timeout`` elapsing with *zero* completions — is
-        treated the same way, with the hung workers terminated so the
-        respawned pool does not compete with them for cores.
-        """
-        workers = min(self.workers, len(remaining))
-        crashed: list[tuple[int, str | None]] = []
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_pool_initializer,
-            initargs=(payload,),
-        )
-        try:
-            futures = {
-                pool.submit(_pool_execute, index, cells[index]): (index, key)
-                for index, key in remaining
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding,
-                    timeout=self.cell_timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # cell_timeout with no completion at all: the pool
-                    # is hung.  Kill it and roll everything over.
-                    for future in outstanding:
-                        index, key = futures[future]
-                        last_errors[index] = (
-                            f"no completion within {self.cell_timeout}s; "
-                            "pool presumed hung"
-                        )
-                        crashed.append((index, key))
-                    self._terminate_workers(pool)
-                    break
-                for future in done:
-                    index, key = futures[future]
-                    try:
-                        _, values = future.result()
-                    except Exception as exc:  # noqa: BLE001 — any worker
-                        # death surfaces here (BrokenProcessPool for
-                        # crashes, the cell's own exception otherwise).
-                        last_errors[index] = f"{type(exc).__name__}: {exc}"
-                        crashed.append((index, key))
-                    else:
-                        results[index] = values
-                        self._store(key, cells[index], values)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        return crashed
-
-    @staticmethod
-    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-        """Force-kill a hung pool's worker processes.
-
-        ``shutdown`` alone would leave hung workers running (it only
-        refuses new work); terminating them is the only way a stalled
-        attempt actually releases its cores.  ``_processes`` is
-        CPython's internal table — guarded so a future rename degrades
-        to a plain shutdown instead of an error.
-        """
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except Exception:  # noqa: BLE001 — already-dead workers
-                pass

@@ -339,8 +339,10 @@ class FederatedSimulation:
         ``checkpoint_keep`` of them (older files are pruned after each
         successful write, so a crash mid-write still leaves the
         previous survivors), and — when ``resume`` is true and one
-        exists — picks up from the newest instead of round 0 (a legacy
-        rolling ``checkpoint.pkl`` is honoured as a fallback).  The
+        exists — picks up from the newest *intact* checkpoint instead
+        of round 0: a torn or corrupt file is quarantined and skipped
+        in favour of the next-oldest survivor (a legacy rolling
+        ``checkpoint.pkl`` is honoured as a final fallback).  The
         resume contract is bit-identity: a run resumed at round ``r``
         produces exactly the model, metrics and fault/async accounting
         of the uninterrupted run (everything per-round is derived
@@ -363,12 +365,21 @@ class FederatedSimulation:
             from repro import persistence
 
             if resume:
-                newest = persistence.latest_checkpoint(checkpoint_dir)
-                if newest is not None:
-                    payload = persistence.load_checkpoint(newest)
+                # Walk the retained checkpoints newest-first: a torn or
+                # bit-flipped newest file is quarantined (moved aside)
+                # and resume falls back to the next-oldest survivor —
+                # one corrupt write never strands the whole run.
+                for candidate in persistence.resumable_checkpoints(
+                    checkpoint_dir
+                ):
+                    try:
+                        payload = persistence.load_checkpoint(candidate)
+                    except persistence.IntegrityError:
+                        continue
                     start_round, history, item_history = self.restore_checkpoint(
                         payload
                     )
+                    break
         started = time.perf_counter()
         executed = 0
         for round_idx in range(start_round, rounds):

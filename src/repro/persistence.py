@@ -16,14 +16,28 @@ Every writer here is crash-safe: payloads land in a temp file in the
 target directory and reach their final name through one atomic
 ``os.replace``, so a process killed mid-save leaves either the
 previous complete file or no file — never a truncated one.
+
+On top of crash-safe *writes*, this module provides end-to-end
+*read* integrity: every sweep entry, checkpoint and result JSON
+carries a sha256 digest of its own payload, written atomically with
+the data.  Loaders verify the digest on read and **quarantine** files
+that fail it (atomically moved aside to ``<name>.quarantined``, so the
+corruption specimen survives for inspection while the loader reports a
+miss or a structured :class:`IntegrityError` instead of silently
+trusting flipped bits).  Files written before the digest existed are
+still readable ("legacy") — integrity is additive, never a forced
+cache invalidation.  ``fsck_paths`` (surfaced as ``repro fsck``) walks
+a tree and reports the verified / legacy / corrupt split.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
@@ -33,6 +47,13 @@ from repro.federated.simulation import EvalRecord, SimulationResult
 from repro.models.base import RecommenderModel
 
 __all__ = [
+    "IntegrityError",
+    "FsckReport",
+    "fsck_paths",
+    "json_digest",
+    "verify_json_digest",
+    "save_json_digested",
+    "quarantine_file",
     "save_result",
     "load_result",
     "save_model",
@@ -42,10 +63,13 @@ __all__ = [
     "checkpoint_path",
     "list_checkpoints",
     "latest_checkpoint",
+    "resumable_checkpoints",
     "prune_checkpoints",
     "save_sweep_entry",
     "load_sweep_entry",
+    "read_sweep_entry",
     "CHECKPOINT_VERSION",
+    "QUARANTINE_SUFFIX",
 ]
 
 #: Version tag baked into every simulation checkpoint.  Bump whenever
@@ -53,7 +77,99 @@ __all__ = [
 #: raises instead of silently resuming from incompatible state.
 #: v2: the payload gained an ``async_state`` key (the asynchronous
 #: engine's virtual clock, event heap and aggregation buffer).
-CHECKPOINT_VERSION = "ckpt-v2"
+#: v3: the envelope stores the payload as pre-pickled *bytes* plus a
+#: sha256 digest of exactly those bytes, so torn or bit-flipped
+#: checkpoints are detected (and quarantined) instead of resumed from.
+CHECKPOINT_VERSION = "ckpt-v3"
+
+#: Checkpoint versions :func:`load_checkpoint` still understands.
+#: ``ckpt-v2`` predates the digest: its payload is stored as a live
+#: object and loads without verification ("legacy digestless").
+_COMPAT_CHECKPOINT_VERSIONS = frozenset({"ckpt-v2", CHECKPOINT_VERSION})
+
+#: Suffix appended (atomically, via ``os.replace``) to files that fail
+#: their integrity check.  A quarantined file is out of every loader's
+#: path — the cell re-executes, the resume falls back one checkpoint —
+#: but the corrupt bytes survive for inspection.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+class IntegrityError(ValueError):
+    """A persisted payload failed its digest or is torn.
+
+    Distinct from the plain ``ValueError`` raised for *foreign* files
+    (wrong structure, incompatible version): an ``IntegrityError``
+    means the file is ours but its bytes are no longer the bytes that
+    were written.  ``quarantined_to`` carries the path the specimen
+    was moved to, or ``None`` when quarantining was disabled or lost a
+    race with another process.
+    """
+
+    def __init__(self, message: str, *, quarantined_to: str | None = None):
+        super().__init__(message)
+        self.quarantined_to = quarantined_to
+
+
+def quarantine_file(path: str) -> str | None:
+    """Atomically move a corrupt file aside; return its new path.
+
+    The move is a single ``os.replace`` to ``<path>.quarantined`` —
+    crash-safe, and idempotent under concurrency: when two workers
+    detect the same corrupt entry, one wins the rename and the other
+    gets ``None`` (the file is already gone from the hot path, which
+    is all either of them needs).
+    """
+    target = path + QUARANTINE_SUFFIX
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+# ----------------------------------------------------------------------
+# Digested JSON: the shared integrity format for every JSON artifact
+# ----------------------------------------------------------------------
+
+def json_digest(record: Mapping[str, Any]) -> str:
+    """sha256 of a JSON object's canonical form, minus its own digest.
+
+    The digest covers the *semantic* content — the canonical compact
+    ``sort_keys`` serialisation of every field except ``sha256``
+    itself — so whitespace or key order on disk never matter, while
+    any change to any value does.  Finite floats serialise via
+    ``repr`` and round-trip bit-exactly, so recomputing the digest
+    from a parsed file reproduces the writer's digest.
+    """
+    body = {key: value for key, value in record.items() if key != "sha256"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def verify_json_digest(record: Mapping[str, Any]) -> bool:
+    """True when ``record["sha256"]`` matches its recomputed digest."""
+    return record.get("sha256") == json_digest(record)
+
+
+def save_json_digested(
+    path: str, record: dict[str, Any], *, indent: int | None = None
+) -> None:
+    """Write a JSON object with its sha256 digest, atomically.
+
+    The digest field and the data land in one ``os.replace``, so no
+    observer ever sees data without its digest (or a torn mix of old
+    and new).  ``record`` must not already carry a ``sha256`` key.
+    """
+    payload = dict(record)
+    payload["sha256"] = json_digest(payload)
+
+    def write(tmp_path: str) -> None:
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=indent is not None)
+            if indent is not None:
+                handle.write("\n")
+
+    _replace_into(path, write)
 
 #: Versioned checkpoint filenames: ``checkpoint-r<next_round>.pkl``.
 _CHECKPOINT_PREFIX = "checkpoint-r"
@@ -80,7 +196,12 @@ def _replace_into(path: str, write) -> None:
 
 
 def save_result(result: SimulationResult, path: str) -> None:
-    """Serialise a simulation result (without item history) to JSON."""
+    """Serialise a simulation result (without item history) to JSON.
+
+    The payload carries its own sha256 digest (see
+    :func:`save_json_digested`) so :func:`load_result` can prove the
+    file still holds the bytes that were written.
+    """
     payload = {
         "exposure": result.exposure,
         "hit_ratio": result.hit_ratio,
@@ -98,18 +219,35 @@ def save_result(result: SimulationResult, path: str) -> None:
         "fault_stats": result.fault_stats.to_dict(),
         "async_stats": result.async_stats.to_dict(),
     }
-
-    def write(tmp_path: str) -> None:
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-
-    _replace_into(path, write)
+    save_json_digested(path, payload, indent=2)
 
 
-def load_result(path: str) -> SimulationResult:
-    """Load a simulation result saved by :func:`save_result`."""
-    with open(path) as handle:
-        payload = json.load(handle)
+def load_result(path: str, *, quarantine: bool = True) -> SimulationResult:
+    """Load a simulation result saved by :func:`save_result`.
+
+    Verify-on-read: a torn file or a digest mismatch raises
+    :class:`IntegrityError` (after quarantining the specimen unless
+    ``quarantine`` is false) — corrupt metrics must never load as if
+    they were measurements.  Digestless files from before the
+    integrity layer still load.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError):
+        moved = quarantine_file(path) if quarantine else None
+        raise IntegrityError(
+            f"{path} is torn or undecodable", quarantined_to=moved
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a simulation result")
+    if "sha256" in payload and not verify_json_digest(payload):
+        moved = quarantine_file(path) if quarantine else None
+        raise IntegrityError(
+            f"{path} failed its sha256 digest check", quarantined_to=moved
+        )
     return SimulationResult(
         exposure=payload["exposure"],
         hit_ratio=payload["hit_ratio"],
@@ -129,11 +267,19 @@ def save_checkpoint(path: str, payload: dict[str, Any]) -> None:
     """Write one simulation checkpoint atomically (pickle, versioned).
 
     ``payload`` is the opaque state dict assembled by
-    :meth:`FederatedSimulation.checkpoint_payload`; this layer only
-    adds the version envelope and the crash-safe write.  A run killed
-    mid-checkpoint resumes from the previous complete checkpoint.
+    :meth:`FederatedSimulation.checkpoint_payload`; this layer adds
+    the version envelope, a sha256 digest of the exact payload bytes,
+    and the crash-safe write.  A run killed mid-checkpoint resumes
+    from the previous complete checkpoint; a checkpoint whose bytes
+    rot after the write fails its digest on load instead of silently
+    resuming a divergent run.
     """
-    envelope = {"version": CHECKPOINT_VERSION, "payload": payload}
+    payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "version": CHECKPOINT_VERSION,
+        "sha256": hashlib.sha256(payload_bytes).hexdigest(),
+        "payload": payload_bytes,
+    }
 
     def write(tmp_path: str) -> None:
         with open(tmp_path, "wb") as handle:
@@ -142,23 +288,53 @@ def save_checkpoint(path: str, payload: dict[str, Any]) -> None:
     _replace_into(path, write)
 
 
-def load_checkpoint(path: str) -> dict[str, Any]:
+def load_checkpoint(path: str, *, quarantine: bool = True) -> dict[str, Any]:
     """Load a checkpoint saved by :func:`save_checkpoint`.
 
-    Raises ``ValueError`` on a version mismatch or a malformed file —
-    resuming from incompatible state must fail loudly, never produce a
-    silently divergent run.
+    Verify-on-read: torn pickles and digest mismatches raise
+    :class:`IntegrityError` after moving the specimen aside (unless
+    ``quarantine`` is false), so the resume path can fall back to the
+    previous checkpoint (see
+    :meth:`~repro.federated.simulation.FederatedSimulation.run`)
+    instead of crashing or resuming from flipped bits.  Foreign files
+    and incompatible versions raise a plain ``ValueError`` and are
+    left untouched — an unreadable-by-design file is not corruption.
+    Legacy ``ckpt-v2`` checkpoints (digestless) still load.
     """
-    with open(path, "rb") as handle:
-        envelope = pickle.load(handle)
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except FileNotFoundError:
+        raise
+    except Exception:  # noqa: BLE001 — a torn/bit-flipped pickle can
+        # raise nearly anything (EOFError, UnpicklingError, Attribute-
+        # Error from a corrupted global reference, ...).
+        moved = quarantine_file(path) if quarantine else None
+        raise IntegrityError(
+            f"{path} is a torn or undecodable checkpoint",
+            quarantined_to=moved,
+        ) from None
     if not isinstance(envelope, dict) or "payload" not in envelope:
         raise ValueError(f"{path} is not a simulation checkpoint")
     version = envelope.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in _COMPAT_CHECKPOINT_VERSIONS:
         raise ValueError(
             f"checkpoint version {version!r} does not match "
             f"{CHECKPOINT_VERSION!r}; re-run from scratch"
         )
+    if version == CHECKPOINT_VERSION:
+        payload_bytes = envelope["payload"]
+        digest = envelope.get("sha256")
+        if not isinstance(payload_bytes, bytes) or (
+            digest != hashlib.sha256(payload_bytes).hexdigest()
+        ):
+            moved = quarantine_file(path) if quarantine else None
+            raise IntegrityError(
+                f"{path} failed its sha256 digest check",
+                quarantined_to=moved,
+            )
+        return pickle.loads(payload_bytes)
+    # Legacy digestless envelope: the payload is a live object.
     return envelope["payload"]
 
 
@@ -203,6 +379,21 @@ def latest_checkpoint(directory: str) -> str | None:
     return legacy if os.path.exists(legacy) else None
 
 
+def resumable_checkpoints(directory: str) -> list[str]:
+    """Every resume candidate in ``directory``, best first.
+
+    Versioned checkpoints newest-first, then the legacy rolling
+    ``checkpoint.pkl`` when present.  The resume path walks this list
+    so a quarantined (corrupt) newest checkpoint degrades to the
+    previous survivor instead of aborting the run.
+    """
+    candidates = [path for _, path in reversed(list_checkpoints(directory))]
+    legacy = os.path.join(directory, _LEGACY_CHECKPOINT)
+    if os.path.exists(legacy):
+        candidates.append(legacy)
+    return candidates
+
+
 def prune_checkpoints(directory: str, keep: int) -> list[str]:
     """Delete all but the newest ``keep`` versioned checkpoints.
 
@@ -230,33 +421,72 @@ def save_sweep_entry(path: str, *, key: str, kind: str, values: Any) -> None:
     bit-exactly through JSON, which is what lets cached table cells be
     byte-identical to freshly computed ones.  The atomic rename means a
     killed sweep never leaves a half-written entry behind — interrupted
-    runs resume from whole entries only.
+    runs resume from whole entries only.  The entry carries a sha256
+    digest of its own payload, so bit rot *after* the write is caught
+    on the next read (see :func:`read_sweep_entry`).
     """
-    payload = {"key": key, "kind": kind, "values": values}
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    tmp_path = f"{path}.{os.getpid()}.tmp"
-    with open(tmp_path, "w") as handle:
-        json.dump(payload, handle)
-    os.replace(tmp_path, path)
+    save_json_digested(path, {"key": key, "kind": kind, "values": values})
+
+
+def read_sweep_entry(
+    path: str, *, quarantine: bool = True
+) -> tuple[dict[str, Any] | None, str]:
+    """Load and verify one sweep-cache entry; returns ``(entry, status)``.
+
+    ``status`` is one of:
+
+    ``"verified"``
+        Digest present and matching; ``entry`` is trustworthy.
+    ``"legacy"``
+        Structurally valid entry from before the digest existed;
+        loaded, but unverifiable.
+    ``"missing"``
+        No file; ``entry`` is ``None``.
+    ``"foreign"``
+        Valid JSON that is not a sweep entry (wrong structure) —
+        treated as a miss but never quarantined: this loader does not
+        move files it cannot positively identify as its own rot.
+    ``"quarantined"``
+        Torn/undecodable JSON, or a digest mismatch: the file was
+        atomically moved aside (unless ``quarantine`` is false) and
+        ``entry`` is ``None``, so the caller re-executes the cell.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None, "missing"
+    except (OSError, ValueError):
+        # ValueError covers both JSONDecodeError and the
+        # UnicodeDecodeError a binary-corrupt entry raises.  Our
+        # writer is atomic, so an unparseable entry means external
+        # corruption — quarantine the specimen.
+        if quarantine:
+            quarantine_file(path)
+        return None, "quarantined"
+    if not isinstance(payload, dict) or "key" not in payload or "values" not in payload:
+        return None, "foreign"
+    if "sha256" not in payload:
+        return payload, "legacy"
+    if not verify_json_digest(payload):
+        if quarantine:
+            quarantine_file(path)
+        return None, "quarantined"
+    return payload, "verified"
 
 
 def load_sweep_entry(path: str) -> dict[str, Any] | None:
     """Load a sweep-cache entry; ``None`` when missing or unreadable.
 
-    Corrupt or truncated entries are treated as cache misses (the cell
-    simply recomputes and overwrites them), never as errors.
+    Corrupt or truncated entries are quarantined and treated as cache
+    misses (the cell simply recomputes and rewrites them), never as
+    errors.  The returned dict is the semantic entry (``key`` /
+    ``kind`` / ``values``) without the on-disk digest field.
     """
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        # ValueError covers both JSONDecodeError and the
-        # UnicodeDecodeError a binary-corrupt entry raises.
-        return None
-    if not isinstance(payload, dict) or "key" not in payload or "values" not in payload:
-        return None
-    return payload
+    entry, _ = read_sweep_entry(path)
+    if entry is not None:
+        entry = {k: v for k, v in entry.items() if k != "sha256"}
+    return entry
 
 
 def save_model(model: RecommenderModel, path: str) -> None:
@@ -301,3 +531,145 @@ def load_model(model: RecommenderModel, path: str) -> RecommenderModel:
                 raise ValueError(f"parameter {key} shape mismatch")
             param[...] = value
     return model
+
+
+# ----------------------------------------------------------------------
+# fsck: offline integrity audit of a cache / checkpoint / results tree
+# ----------------------------------------------------------------------
+
+@dataclass
+class FsckReport:
+    """Counts from one :func:`fsck_paths` walk.
+
+    ``corrupt`` drives the exit code of ``repro fsck``: a tree is
+    *clean* iff nothing failed verification.  ``repaired`` counts the
+    corrupt files moved aside under ``repair=True`` (a subset of
+    ``corrupt``); ``quarantined_found`` counts pre-existing
+    ``.quarantined`` specimens from earlier verify-on-read hits.
+    """
+
+    scanned: int = 0
+    verified: int = 0
+    legacy: int = 0
+    corrupt: int = 0
+    repaired: int = 0
+    quarantined_found: int = 0
+    leases: int = 0
+    skipped: int = 0
+    corrupt_paths: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
+
+    def summary(self) -> str:
+        line = (
+            f"{self.scanned} files: {self.verified} verified, "
+            f"{self.legacy} legacy (digestless), {self.corrupt} corrupt"
+        )
+        if self.repaired:
+            line += f" ({self.repaired} moved to *{QUARANTINE_SUFFIX})"
+        if self.quarantined_found:
+            line += f", {self.quarantined_found} previously quarantined"
+        if self.leases:
+            line += f", {self.leases} lease files"
+        if self.skipped:
+            line += f", {self.skipped} skipped"
+        return line
+
+
+def _iter_files(root: str) -> Iterator[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for directory, _, names in os.walk(root):
+        for name in sorted(names):
+            yield os.path.join(directory, name)
+
+
+def _fsck_json(path: str) -> str:
+    """Classify one JSON artifact: verified / legacy / corrupt / skipped."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return "corrupt"
+    if not isinstance(payload, dict):
+        return "skipped"
+    if "sha256" in payload:
+        return "verified" if verify_json_digest(payload) else "corrupt"
+    known = (
+        {"key", "values"} <= set(payload)  # sweep entry
+        or {"exposure", "hit_ratio", "rounds_run"} <= set(payload)  # result
+        or "bench" in payload  # BENCH_*.json
+    )
+    return "legacy" if known else "skipped"
+
+
+def _fsck_checkpoint(path: str) -> str:
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except Exception:  # noqa: BLE001 — torn pickle
+        return "corrupt"
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        return "skipped"
+    version = envelope.get("version")
+    if version == CHECKPOINT_VERSION:
+        payload_bytes = envelope.get("payload")
+        digest = envelope.get("sha256")
+        ok = isinstance(payload_bytes, bytes) and digest == hashlib.sha256(
+            payload_bytes
+        ).hexdigest()
+        return "verified" if ok else "corrupt"
+    if version in _COMPAT_CHECKPOINT_VERSIONS:
+        return "legacy"
+    return "skipped"
+
+
+def fsck_paths(root: str, *, repair: bool = False) -> FsckReport:
+    """Walk a tree and verify every artifact this module knows how to.
+
+    Sweep-cache entries, result JSONs and ``BENCH_*.json`` files are
+    verified against their embedded sha256; checkpoints against the
+    digest of their payload bytes.  Digestless-but-recognised files
+    count as *legacy*; files this harness never wrote (or cannot
+    verify, like ``.npz`` model archives) are *skipped*, never
+    flagged.  With ``repair=True`` every corrupt file is atomically
+    quarantined (``*.quarantined``) so subsequent sweeps and resumes
+    re-execute instead of tripping on it; fsck itself never mutates
+    anything else.
+    """
+    if not os.path.exists(root):
+        raise FileNotFoundError(root)
+    report = FsckReport()
+    for path in _iter_files(root):
+        name = os.path.basename(path)
+        report.scanned += 1
+        if name.endswith(QUARANTINE_SUFFIX):
+            report.quarantined_found += 1
+            continue
+        if name.endswith(".lease"):
+            report.leases += 1
+            continue
+        if name.endswith(".tmp"):
+            report.skipped += 1
+            continue
+        if name.endswith(".json"):
+            status = _fsck_json(path)
+        elif name.endswith(".pkl") and name.startswith("checkpoint"):
+            status = _fsck_checkpoint(path)
+        else:
+            status = "skipped"
+        if status == "corrupt":
+            report.corrupt += 1
+            report.corrupt_paths.append(path)
+            if repair and quarantine_file(path) is not None:
+                report.repaired += 1
+        elif status == "verified":
+            report.verified += 1
+        elif status == "legacy":
+            report.legacy += 1
+        else:
+            report.skipped += 1
+    return report

@@ -322,6 +322,83 @@ class TestRetention:
         assert persistence.prune_checkpoints(d, 1) == []
 
 
+class TestCorruptionFallback:
+    """Verify-on-read: torn checkpoints quarantine, resume falls back."""
+
+    def test_bit_flipped_checkpoint_raises_integrity_error(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        persistence.save_checkpoint(path, {"round": 4})
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x04
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(persistence.IntegrityError):
+            persistence.load_checkpoint(path)
+        # The corrupt file was moved aside, never silently trusted.
+        assert not os.path.exists(path)
+        assert os.path.exists(path + persistence.QUARANTINE_SUFFIX)
+
+    def test_truncated_checkpoint_raises_integrity_error(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        persistence.save_checkpoint(path, {"round": 4})
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(persistence.IntegrityError):
+            persistence.load_checkpoint(path)
+        assert os.path.exists(path + persistence.QUARANTINE_SUFFIX)
+
+    def test_legacy_v2_checkpoint_still_loads(self, tmp_path):
+        path = str(tmp_path / "checkpoint.pkl")
+        with open(path, "wb") as handle:
+            pickle.dump({"version": "ckpt-v2", "payload": {"round": 6}}, handle)
+        assert persistence.load_checkpoint(path)["round"] == 6
+
+    def test_resume_falls_back_past_corrupt_newest(self, tiny_dataset, tmp_path):
+        # Corrupt the newest retained checkpoint: resume must skip it
+        # (quarantining it) and restart from the older survivor —
+        # still bit-identical to the uninterrupted reference.
+        cfg = _config("mf", faults=FAULTS)
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+
+        ckpt_dir = str(tmp_path / "ckpt")
+        first = FederatedSimulation(cfg, tiny_dataset)
+        first.run(rounds=7, checkpoint_dir=ckpt_dir, checkpoint_every=2,
+                  checkpoint_keep=3)
+        newest = persistence.latest_checkpoint(ckpt_dir)
+        blob = open(newest, "rb").read()
+        with open(newest, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+
+        resumed = FederatedSimulation(cfg, tiny_dataset)
+        result = resumed.run(
+            checkpoint_dir=ckpt_dir, checkpoint_every=2, checkpoint_keep=3
+        )
+        _assert_identical(_final_state(resumed, result), ref_state)
+        assert os.path.exists(newest + persistence.QUARANTINE_SUFFIX)
+
+    def test_resume_with_all_checkpoints_corrupt_restarts_clean(
+        self, tiny_dataset, tmp_path
+    ):
+        cfg = _config("mf")
+        reference = FederatedSimulation(cfg, tiny_dataset)
+        ref_state = _final_state(reference, reference.run())
+
+        ckpt_dir = str(tmp_path / "ckpt")
+        first = FederatedSimulation(cfg, tiny_dataset)
+        first.run(rounds=6, checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        for _, path in persistence.list_checkpoints(ckpt_dir):
+            with open(path, "wb") as handle:
+                handle.write(b"\x00torn")
+
+        resumed = FederatedSimulation(cfg, tiny_dataset)
+        result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        # Nothing resumable survived: the run restarted from round 0
+        # and still reproduces the reference exactly.
+        _assert_identical(_final_state(resumed, result), ref_state)
+
+
 class TestAtomicWrites:
     def test_checkpoint_write_failure_leaves_previous_file(self, tmp_path):
         path = str(tmp_path / "checkpoint.pkl")

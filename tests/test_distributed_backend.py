@@ -1,0 +1,380 @@
+"""Shared-cache backend: lease coordination, chaos, and parity.
+
+Workers here are *real processes* (forked, or SIGKILLed mid-cell) so
+the lease reclamation path is exercised against actual process death,
+not a simulated exception.  The contract under test is the standing
+invariant: however many workers drain the grid, and however many of
+them die, the cache ends up with entries byte-identical to the
+sequential reference, and every degradation path is counted.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.config import DatasetConfig, ExperimentConfig, ModelConfig, TrainConfig
+from repro.experiments.backend import (
+    LocalBackend,
+    SharedCacheBackend,
+    lease_age,
+    lease_path_for,
+    read_lease,
+    refresh_lease,
+    release_lease,
+    try_claim_lease,
+    try_reclaim_lease,
+)
+from repro.experiments.sweep import (
+    CellSpec,
+    SweepExecutionError,
+    SweepRunner,
+    register_cell_kind,
+)
+
+DATASET = DatasetConfig(name="custom", scale=0.08, seed=5)
+
+
+def _config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=DATASET,
+        model=ModelConfig(kind="mf", embedding_dim=8, seed=seed),
+        train=TrainConfig(rounds=2, users_per_round=8, lr=1.0),
+        seed=seed,
+    )
+
+
+def _fast(spec: CellSpec, dataset) -> list[list[float]]:
+    """Deterministic cell with no training: value derives from payload."""
+    index = spec.payload[-1]
+    return [[float(index), float(index) ** 2]]
+
+
+def _slow(spec: CellSpec, dataset) -> list[list[float]]:
+    """Announce the start (marker file), then take a while."""
+    marker_dir, index = spec.payload
+    with open(os.path.join(marker_dir, f"started-{index}"), "w"):
+        pass
+    time.sleep(1.0)
+    return [[float(index), float(index) ** 2]]
+
+
+register_cell_kind("test_dist_fast", _fast)
+register_cell_kind("test_dist_slow", _slow)
+
+
+def _cells(kind: str, marker_dir: str, count: int) -> list[CellSpec]:
+    return [
+        CellSpec(
+            config=_config(seed=3 + index),
+            kind=kind,
+            payload=(marker_dir, index),
+        )
+        for index in range(count)
+    ]
+
+
+def _expected(count: int) -> list[list[list[float]]]:
+    return [[[float(i), float(i) ** 2]] for i in range(count)]
+
+
+def _cache_bytes(cache_dir: str) -> dict[str, bytes]:
+    return {
+        name: open(os.path.join(cache_dir, name), "rb").read()
+        for name in sorted(os.listdir(cache_dir))
+        if name.endswith(".json")
+    }
+
+
+def _worker_main(
+    kind: str,
+    marker_dir: str,
+    count: int,
+    cache_dir: str,
+    owner: str,
+    stats_path: str,
+    lease_ttl: float = 2.0,
+) -> None:
+    """One independent worker process draining the shared grid."""
+    backend = SharedCacheBackend(
+        owner=owner, lease_ttl=lease_ttl, poll_interval=0.02, wait_timeout=60.0
+    )
+    runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+    runner.run(_cells(kind, marker_dir, count), {"default": DATASET})
+    stats = runner.last_stats
+    with open(stats_path, "w") as handle:
+        json.dump(
+            {
+                "executed": stats.executed,
+                "peer_served": stats.peer_served,
+                "reclaimed": stats.reclaimed,
+                "cache_hits": stats.cache_hits,
+            },
+            handle,
+        )
+
+
+class TestLeasePrimitives:
+    def test_exclusive_claim(self, tmp_path):
+        path = str(tmp_path / "cell.json.lease")
+        assert try_claim_lease(path, {"owner": "a", "token": "a#1"})
+        assert not try_claim_lease(path, {"owner": "b", "token": "b#1"})
+        assert read_lease(path)["owner"] == "a"
+
+    def test_release_frees_the_cell(self, tmp_path):
+        path = str(tmp_path / "cell.json.lease")
+        try_claim_lease(path, {"owner": "a", "token": "a#1"})
+        release_lease(path)
+        assert read_lease(path) is None
+        assert try_claim_lease(path, {"owner": "b", "token": "b#1"})
+
+    def test_release_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "cell.json.lease")
+        release_lease(path)  # never claimed: no error
+
+    def test_heartbeat_refreshes_age(self, tmp_path):
+        path = str(tmp_path / "cell.json.lease")
+        try_claim_lease(path, {"owner": "a", "token": "a#1"})
+        os.utime(path, (time.time() - 100, time.time() - 100))
+        assert lease_age(path) > 50
+        assert refresh_lease(path)
+        assert lease_age(path) < 5
+
+    def test_refresh_reports_vanished_lease(self, tmp_path):
+        assert not refresh_lease(str(tmp_path / "gone.lease"))
+
+    def test_reclaim_confirms_via_token(self, tmp_path):
+        path = str(tmp_path / "cell.json.lease")
+        try_claim_lease(path, {"owner": "dead", "token": "dead#1"})
+        assert try_reclaim_lease(path, {"owner": "b", "token": "b#1"}, "b#1")
+        assert read_lease(path)["owner"] == "b"
+
+    def test_racing_reclaims_last_writer_owns(self, tmp_path):
+        # Sequential replacements: the file always holds exactly the
+        # last writer's record — one token, one owner, at any instant.
+        path = str(tmp_path / "cell.json.lease")
+        try_claim_lease(path, {"owner": "dead", "token": "dead#1"})
+        assert try_reclaim_lease(path, {"owner": "b", "token": "b#1"}, "b#1")
+        assert try_reclaim_lease(path, {"owner": "c", "token": "c#1"}, "c#1")
+        assert read_lease(path) == {"owner": "c", "token": "c#1"}
+
+    def test_reclaim_not_confirmed_when_overwritten_before_readback(
+        self, tmp_path
+    ):
+        # Simulate losing the race: the read-back sees a token other
+        # than ours (a peer's replace landed in between) → no confirm.
+        path = str(tmp_path / "cell.json.lease")
+        try_claim_lease(path, {"owner": "peer", "token": "peer#1"})
+        assert not try_reclaim_lease(
+            path, {"owner": "peer", "token": "peer#1"}, "mine#1"
+        )
+
+    def test_lease_age_none_when_missing(self, tmp_path):
+        assert lease_age(str(tmp_path / "gone.lease")) is None
+
+    def test_lease_path_sits_next_to_entry(self):
+        assert lease_path_for("/cache/abc.json") == "/cache/abc.json.lease"
+
+
+class TestSharedBackendSingleWorker:
+    def test_matches_sequential_reference_byte_identical(self, tmp_path):
+        seq_dir = str(tmp_path / "seq")
+        shared_dir = str(tmp_path / "shared")
+        cells = _cells("test_dist_fast", str(tmp_path), 4)
+        SweepRunner(workers=0, cache_dir=seq_dir).run(cells, {"default": DATASET})
+        backend = SharedCacheBackend(owner="w1", lease_ttl=5.0)
+        runner = SweepRunner(cache_dir=shared_dir, backend=backend)
+        results = runner.run(cells, {"default": DATASET})
+        assert results == _expected(4)
+        assert _cache_bytes(shared_dir) == _cache_bytes(seq_dir)
+        assert runner.last_stats.executed == 4
+        assert runner.last_stats.reclaimed == 0
+
+    def test_no_leases_left_behind(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        backend = SharedCacheBackend(owner="w1", lease_ttl=5.0)
+        runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+        runner.run(_cells("test_dist_fast", str(tmp_path), 3), {"default": DATASET})
+        assert not [n for n in os.listdir(cache_dir) if n.endswith(".lease")]
+
+    def test_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            SweepRunner(backend=SharedCacheBackend(owner="w1"))
+
+    def test_warm_cache_serves_everything(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cells = _cells("test_dist_fast", str(tmp_path), 3)
+        backend = SharedCacheBackend(owner="w1", lease_ttl=5.0)
+        SweepRunner(cache_dir=cache_dir, backend=backend).run(
+            cells, {"default": DATASET}
+        )
+        rerun = SweepRunner(
+            cache_dir=cache_dir,
+            backend=SharedCacheBackend(owner="w2", lease_ttl=5.0),
+        )
+        rerun.run(cells, {"default": DATASET})
+        assert rerun.last_stats.cache_hits == 3
+        assert rerun.last_stats.executed == 0
+
+    def test_stale_lease_of_dead_worker_is_reclaimed(self, tmp_path):
+        # Plant a lease nobody heartbeats, older than the ttl: the
+        # drain must take it over (counted), run the cell, and finish.
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        cells = _cells("test_dist_fast", str(tmp_path), 2)
+        from repro.experiments.sweep import cell_cache_key, dataset_fingerprint
+        from repro.datasets.loaders import load_dataset
+
+        fp = dataset_fingerprint(load_dataset(DATASET))
+        key = cell_cache_key(cells[0], fp)
+        lease = lease_path_for(os.path.join(cache_dir, f"{key}.json"))
+        try_claim_lease(lease, {"owner": "dead", "token": "dead#1"})
+        stale = time.time() - 60
+        os.utime(lease, (stale, stale))
+        backend = SharedCacheBackend(owner="w1", lease_ttl=2.0, poll_interval=0.02)
+        runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+        results = runner.run(cells, {"default": DATASET})
+        assert results == _expected(2)
+        assert runner.last_stats.reclaimed == 1
+
+    def test_live_lease_blocks_until_wait_timeout(self, tmp_path):
+        # A fresh lease that is never released and never goes stale
+        # (we keep it heartbeated from the test) must end in a
+        # structured error, not an infinite spin.
+        cache_dir = str(tmp_path / "cache")
+        os.makedirs(cache_dir)
+        cells = _cells("test_dist_fast", str(tmp_path), 1)
+        from repro.experiments.sweep import cell_cache_key, dataset_fingerprint
+        from repro.datasets.loaders import load_dataset
+
+        fp = dataset_fingerprint(load_dataset(DATASET))
+        key = cell_cache_key(cells[0], fp)
+        lease = lease_path_for(os.path.join(cache_dir, f"{key}.json"))
+        try_claim_lease(lease, {"owner": "wedged", "token": "wedged#1"})
+        backend = SharedCacheBackend(
+            owner="w1", lease_ttl=30.0, poll_interval=0.02, wait_timeout=0.5
+        )
+        runner = SweepRunner(cache_dir=cache_dir, backend=backend)
+        with pytest.raises(SweepExecutionError, match="no progress"):
+            runner.run(cells, {"default": DATASET})
+        assert runner.last_stats.failed == 1
+
+    def test_jitter_is_deterministic_per_owner(self):
+        a = SharedCacheBackend(owner="worker-a")
+        b = SharedCacheBackend(owner="worker-a")
+        c = SharedCacheBackend(owner="worker-b")
+        draws_a = [float(a._rng.random()) for _ in range(4)]
+        draws_b = [float(b._rng.random()) for _ in range(4)]
+        draws_c = [float(c._rng.random()) for _ in range(4)]
+        assert draws_a == draws_b
+        assert draws_a != draws_c
+
+
+class TestSharedBackendMultiWorker:
+    def test_two_workers_cooperatively_drain_the_grid(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        count = 6
+        ctx = multiprocessing.get_context("fork")
+        stats_paths = [str(tmp_path / f"stats-{i}.json") for i in range(2)]
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    "test_dist_fast", marker_dir, count, cache_dir,
+                    f"w{i}", stats_paths[i],
+                ),
+            )
+            for i in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        stats = [json.load(open(path)) for path in stats_paths]
+        # Between them the two workers account for every cell, and
+        # nothing ran in this (parent) process.
+        assert sum(s["executed"] + s["peer_served"] + s["cache_hits"] for s in stats) == 2 * count
+        assert sum(s["executed"] for s in stats) >= count
+        # The shared cache matches the sequential reference bit for bit.
+        seq_dir = str(tmp_path / "seq")
+        SweepRunner(workers=0, cache_dir=seq_dir).run(
+            _cells("test_dist_fast", marker_dir, count), {"default": DATASET}
+        )
+        assert _cache_bytes(cache_dir) == _cache_bytes(seq_dir)
+
+    @pytest.mark.slow
+    def test_sigkilled_worker_mid_cell_is_reclaimed(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        count = 3
+        ctx = multiprocessing.get_context("fork")
+        victim_stats = str(tmp_path / "stats-victim.json")
+        survivor_stats = str(tmp_path / "stats-survivor.json")
+        victim = ctx.Process(
+            target=_worker_main,
+            args=(
+                "test_dist_slow", marker_dir, count, cache_dir,
+                "victim", victim_stats, 1.0,
+            ),
+        )
+        victim.start()
+        # Wait until the victim is demonstrably mid-cell (it wrote a
+        # started marker, so it holds that cell's lease), then kill it
+        # dead — no cleanup, no release.
+        deadline = time.time() + 60
+        while not os.listdir(marker_dir):
+            assert time.time() < deadline, "victim never started a cell"
+            time.sleep(0.02)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        assert not os.path.exists(victim_stats)
+        survivor = ctx.Process(
+            target=_worker_main,
+            args=(
+                "test_dist_slow", marker_dir, count, cache_dir,
+                "survivor", survivor_stats, 1.0,
+            ),
+        )
+        survivor.start()
+        survivor.join(timeout=120)
+        assert survivor.exitcode == 0
+        stats = json.load(open(survivor_stats))
+        # The survivor finished the whole grid, reclaiming the dead
+        # worker's lease (unless the kill landed between cells, in
+        # which case the lease was already released — assert on the
+        # grid, and on the counter when a lease was actually held).
+        leases_left = [
+            n for n in os.listdir(cache_dir) if n.endswith(".lease")
+        ]
+        assert leases_left == []
+        entries = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        assert len(entries) == count
+        assert stats["executed"] + stats["cache_hits"] == count
+        assert stats["reclaimed"] >= 1
+        # Byte-identical to the sequential reference despite the chaos
+        # (same specs — the marker dir is part of the payload, hence of
+        # the cache key).
+        seq_dir = str(tmp_path / "seq")
+        SweepRunner(workers=0, cache_dir=seq_dir).run(
+            _cells("test_dist_slow", marker_dir, count), {"default": DATASET}
+        )
+        assert _cache_bytes(cache_dir) == _cache_bytes(seq_dir)
+
+
+class TestLocalBackendExplicit:
+    def test_local_backend_injection_matches_default(self, tmp_path):
+        cells = _cells("test_dist_fast", str(tmp_path), 3)
+        default = SweepRunner(workers=0).run(cells, {"default": DATASET})
+        explicit = SweepRunner(backend=LocalBackend(workers=0)).run(
+            cells, {"default": DATASET}
+        )
+        assert explicit == default

@@ -1,5 +1,7 @@
 """Tests for result/model persistence."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -113,10 +115,121 @@ class TestFaultStatsRoundtrip:
         save_result(make_result(), path)
         with open(path) as handle:
             payload = json.load(handle)
+        # A genuine pre-fault_stats file also predates the digest.
         del payload["fault_stats"]
+        del payload["sha256"]
         with open(path, "w") as handle:
             json.dump(payload, handle)
         assert not load_result(path).fault_stats.any_fault
+
+
+class TestResultIntegrity:
+    def test_saved_result_carries_verifying_digest(self, tmp_path):
+        import json
+
+        from repro.persistence import verify_json_digest
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        payload = json.load(open(path))
+        assert verify_json_digest(payload)
+
+    def test_bit_flipped_result_quarantined(self, tmp_path):
+        import os
+
+        from repro.persistence import IntegrityError, QUARANTINE_SUFFIX
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        blob = bytearray(open(path, "rb").read())
+        # Flip a digit inside a float: JSON stays valid, digest doesn't.
+        offset = blob.index(b"0.25") + 2
+        blob[offset : offset + 1] = b"7"
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(IntegrityError):
+            load_result(path)
+        assert not os.path.exists(path)
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+
+    def test_torn_result_quarantined(self, tmp_path):
+        import os
+
+        from repro.persistence import IntegrityError, QUARANTINE_SUFFIX
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+        with pytest.raises(IntegrityError):
+            load_result(path)
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+
+    def test_missing_result_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result(str(tmp_path / "absent.json"))
+
+    def test_digest_is_format_independent(self, tmp_path):
+        # Reformatting the JSON (indentation, key order) must not break
+        # verification: the digest covers the content, not the bytes.
+        import json
+
+        path = str(tmp_path / "result.json")
+        save_result(make_result(), path)
+        payload = json.load(open(path))
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=None, sort_keys=False)
+        assert load_result(path).exposure == 0.25
+
+
+class TestBenchJsonIntegrity:
+    def test_emit_bench_json_is_digest_stamped_and_atomic(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+        import sys
+
+        bench_dir = os.path.join(
+            os.path.dirname(__file__), os.pardir, "benchmarks"
+        )
+        sys.path.insert(0, bench_dir)
+        try:
+            import _harness
+        finally:
+            sys.path.remove(bench_dir)
+        monkeypatch.setattr(_harness, "RESULTS_DIR", str(tmp_path))
+        from repro.persistence import verify_json_digest
+
+        path = _harness.emit_bench_json("unit_test", {"metric": 1.5})
+        payload = json.load(open(path))
+        assert payload["bench"] == "unit_test"
+        assert verify_json_digest(payload)
+        # No temp litter next to the artifact.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "BENCH_unit_test.json"
+        ]
+
+    def test_fsck_verifies_bench_files(self, tmp_path, monkeypatch):
+        import sys
+
+        bench_dir = os.path.join(
+            os.path.dirname(__file__), os.pardir, "benchmarks"
+        )
+        sys.path.insert(0, bench_dir)
+        try:
+            import _harness
+        finally:
+            sys.path.remove(bench_dir)
+        monkeypatch.setattr(_harness, "RESULTS_DIR", str(tmp_path))
+        from repro.persistence import fsck_paths
+
+        path = _harness.emit_bench_json("unit_test_fsck", {"metric": 2.0})
+        assert fsck_paths(str(tmp_path)).verified == 1
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert fsck_paths(str(tmp_path)).corrupt == 1
 
 
 class TestAtomicWrites:

@@ -366,3 +366,119 @@ class TestCliSweep:
     def test_sweep_rejects_negative_workers(self):
         with pytest.raises(SystemExit):
             cli_main(["sweep", "5", "--workers", "-1"])
+
+    def test_unknown_table_suggests_close_id(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["sweep", "table3"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean '3'" in err
+
+    def test_unknown_table_lists_valid_ids(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "99"])
+        assert "choose from" in capsys.readouterr().err
+
+    def test_dry_run_lists_grid_without_executing(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        import repro.cli as cli
+
+        executed = []
+
+        def fake_table(*, runner=None):
+            specs, datasets = _tiny_grid()
+            values = runner.run(specs[:2], datasets)
+            executed.append(values)
+            return TableResult("Tiny", ["Cell", "ER/HR"])
+
+        monkeypatch.setattr(cli, "_TABLES", {"3": fake_table})
+        # Warm one cell so the dry run shows a cached/pending mix.
+        warm = SweepRunner(workers=0, cache_dir=str(tmp_path))
+        specs, datasets = _tiny_grid()
+        warm.run(specs[:1], datasets)
+
+        code = cli_main(
+            ["sweep", "3", "--dry-run", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert executed == []  # the generator was stopped pre-execution
+        out = capsys.readouterr().out
+        assert "1 cached, 1 pending" in out
+        assert "nothing executed" in out
+        # The cache gained nothing: dry runs never write.
+        assert len([n for n in os.listdir(tmp_path) if n.endswith(".json")]) == 1
+
+    def test_dry_run_without_cache_shows_all_pending(
+        self, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        def fake_table(*, runner=None):
+            specs, datasets = _tiny_grid()
+            runner.run(specs[:2], datasets)
+            return TableResult("Tiny", ["Cell", "ER/HR"])
+
+        monkeypatch.setattr(cli, "_TABLES", {"3": fake_table})
+        assert cli_main(["sweep", "3", "--dry-run"]) == 0
+        assert "0 cached, 2 pending" in capsys.readouterr().out
+
+    def test_shared_backend_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["sweep", "3", "--backend", "shared"])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_shared_backend_runs_table_to_completion(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        import repro.cli as cli
+
+        def fake_table(*, runner=None):
+            specs, datasets = _tiny_grid()
+            values = runner.run(specs[:2], datasets)
+            table = TableResult("Tiny", ["Cell", "ER/HR"])
+            for index, value in enumerate(values):
+                table.add_row(str(index), str(cells_from_values(value)[0]))
+            return table
+
+        monkeypatch.setattr(cli, "_TABLES", {"3": fake_table})
+        code = cli_main(
+            [
+                "sweep", "3",
+                "--backend", "shared",
+                "--owner", "test-worker",
+                "--cache-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shared cache, worker test-worker" in out
+        assert "2 executed" in out
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".lease")]
+
+
+class TestQuarantineCounting:
+    def test_corrupt_entry_counted_and_reexecuted(self, tmp_path, capsys):
+        cache_dir = str(tmp_path)
+        specs, datasets = _tiny_grid()
+        runner = SweepRunner(workers=0, cache_dir=cache_dir)
+        first = runner.run(specs[:1], datasets)
+        [entry] = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        path = os.path.join(cache_dir, entry)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x08
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        rerun = SweepRunner(workers=0, cache_dir=cache_dir)
+        second = rerun.run(specs[:1], datasets)
+        assert second == first
+        assert rerun.last_stats.quarantined == 1
+        assert rerun.last_stats.cache_hits == 0
+        assert rerun.last_stats.executed == 1
+        # The corrupt specimen was moved aside, and the fresh entry is
+        # back in place, verified.
+        from repro.persistence import read_sweep_entry
+
+        assert os.path.exists(path + ".quarantined")
+        assert read_sweep_entry(path)[1] == "verified"
