@@ -267,6 +267,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "is the degenerate config that matches the synchronous engine)",
     )
     run.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="split benign client state into N shared-memory shards "
+        "(pure throughput knob: the trajectory is bit-identical)",
+    )
+    run.add_argument(
+        "--round-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="compute benign rounds on N worker processes attached to "
+        "the shard segments (requires --shards; bit-identical)",
+    )
+    run.add_argument(
         "--checkpoint-dir",
         metavar="PATH",
         default=None,
@@ -444,6 +460,19 @@ def _command_run(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, faults=args.faults)
     if args.async_spec is not None:
         config = dataclasses.replace(config, asynchrony=args.async_spec)
+    if args.round_workers is not None and args.shards is None:
+        print("--round-workers requires --shards", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        from repro.config import ShardingConfig
+
+        config = dataclasses.replace(
+            config,
+            sharding=ShardingConfig(
+                num_shards=args.shards,
+                round_workers=args.round_workers or 0,
+            ),
+        )
     sim = FederatedSimulation(config)
     print(
         f"Running {args.attack} vs {args.defense} on {args.dataset} "
@@ -475,6 +504,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
         save_model(sim.model, args.save_model)
         print(f"model checkpoint saved to {args.save_model}")
+    sim.close()
     return 0
 
 
@@ -645,6 +675,10 @@ def _command_fsck(args: argparse.Namespace) -> int:
     print(report.summary())
     for path in report.corrupt_paths:
         print(f"  corrupt: {path}")
+    for name in report.shm_orphan_names:
+        print(f"  orphaned shm segment: {name}")
+    if report.shm_orphans and not args.repair:
+        print("  (run with --repair to unlink orphaned segments)")
     return 0 if report.clean else 1
 
 

@@ -14,6 +14,8 @@ experiments:
 * :class:`AsyncConfig` — asynchronous-federation knobs (traffic
   process, compute/network latency, churn, FedBuff-style buffered
   aggregation with staleness discounting, round deadlines);
+* :class:`ShardingConfig` — shared-memory state sharding and the
+  multi-process round executor (pure throughput knobs);
 * :class:`ExperimentConfig` — one full experiment = all of the above.
 
 All dataclasses are frozen: configs are values, never mutated in place.
@@ -33,6 +35,7 @@ __all__ = [
     "DefenseConfig",
     "FaultConfig",
     "AsyncConfig",
+    "ShardingConfig",
     "ExperimentConfig",
     "replace",
 ]
@@ -425,6 +428,67 @@ class AsyncConfig:
 
 
 @dataclass(frozen=True)
+class ShardingConfig:
+    """Shared-memory state sharding and the multi-process round executor.
+
+    With ``num_shards=0`` (the default) the simulation keeps the dense
+    in-process :class:`~repro.federated.state.ClientStateStore`.  With
+    ``num_shards >= 1`` client state lives in a
+    :class:`~repro.federated.shards.ShardedStateStore`: ``num_shards``
+    contiguous user-id ranges, each backed by named
+    ``multiprocessing.shared_memory`` segments (``shared_memory=True``)
+    or anonymous private mappings (``shared_memory=False``, usable only
+    by fork-inherited children).  ``round_workers >= 2`` additionally
+    routes benign round computation through the
+    :class:`~repro.federated.batch_engine.ProcessRoundExecutor` — a
+    pool of forked worker processes that each attach only their shards.
+
+    Every field here is a *pure throughput knob*: the sharded store and
+    the multi-process executor are bit-identical to the dense
+    single-process reference (asserted by the parity suites), so — like
+    ``train.kernels`` — this whole config is excluded from sweep cache
+    keys and from the checkpoint config digest.  A checkpoint written
+    by a dense run resumes under a sharded one and vice versa.
+    """
+
+    #: Number of contiguous user-range shards; 0 = dense in-process
+    #: store (sharding off).
+    num_shards: int = 0
+    #: Worker processes for the multi-process round executor; 0 or 1 =
+    #: compute rounds in-process (sharded store only).
+    round_workers: int = 0
+    #: Back segments with named POSIX shared memory (attachable by
+    #: unrelated processes, survives exec) instead of anonymous
+    #: fork-shared mappings.
+    shared_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 0:
+            raise ValueError("num_shards must be >= 0")
+        if self.round_workers < 0:
+            raise ValueError("round_workers must be >= 0")
+        if self.round_workers >= 2 and self.num_shards == 0:
+            raise ValueError(
+                "round_workers >= 2 requires a sharded store "
+                "(num_shards >= 1)"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether client state is sharded at all."""
+        return self.num_shards >= 1
+
+    @property
+    def uses_executor(self) -> bool:
+        """Whether rounds run on the multi-process executor."""
+        return self.round_workers >= 2
+
+    def resolved_shards(self, num_users: int) -> int:
+        """Effective shard count, capped at one user per shard."""
+        return max(1, min(self.num_shards, max(1, num_users)))
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """A complete experiment: dataset + model + training + attack + defense."""
 
@@ -442,4 +506,9 @@ class ExperimentConfig:
     #: keyword); disabled by default.  Like ``faults``, every parameter
     #: affects results and enters the sweep cache key.
     asynchrony: AsyncConfig = field(default_factory=AsyncConfig)
+    #: Shared-memory sharding / multi-process execution.  A pure
+    #: throughput knob like ``train.kernels``: excluded from sweep
+    #: cache keys and the checkpoint config digest because results are
+    #: bit-identical whatever its value.
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
     seed: int = 0

@@ -64,6 +64,52 @@ class InteractionDataset:
             raise ValueError("test item id out of range")
 
     # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        name: str,
+        num_users: int,
+        num_items: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        test_items: np.ndarray,
+    ) -> "InteractionDataset":
+        """Build zero-copy from CSR arrays (shared-memory attach path).
+
+        ``train_pos`` becomes a :class:`~repro.federated.shards.CSRRaggedList`
+        facade whose per-user entries are views into ``indices`` — no
+        million-element Python list, no per-user copies.  The per-user
+        validation loop of ``__post_init__`` is skipped: the arrays
+        come from an already-validated dataset on the exporting side,
+        and a single vectorised range check replaces the loop here.
+        """
+        from repro.federated.shards import CSRRaggedList
+
+        if len(indptr) != num_users + 1:
+            raise ValueError(
+                f"indptr has {len(indptr)} entries for {num_users} users"
+            )
+        if len(test_items) != num_users:
+            raise ValueError(
+                f"test_items has {len(test_items)} entries for "
+                f"{num_users} users"
+            )
+        if len(indices) and (indices.min() < 0 or indices.max() >= num_items):
+            raise ValueError("train item id out of range")
+        dataset = cls.__new__(cls)
+        dataset.name = name
+        dataset.num_users = num_users
+        dataset.num_items = num_items
+        dataset.train_pos = CSRRaggedList(indptr, indices)
+        dataset.test_items = test_items
+        dataset._train_sets = None
+        dataset._train_csr = (indptr, indices)
+        return dataset
+
+    # ------------------------------------------------------------------
     # Derived statistics
     # ------------------------------------------------------------------
 
@@ -79,9 +125,16 @@ class InteractionDataset:
         receives (Section IV-B). By default only training interactions
         are counted, which is everything a deployed FRS would see.
         """
-        counts = np.zeros(self.num_items, dtype=np.int64)
-        for items in self.train_pos:
-            counts[items] += 1
+        if self._train_csr is not None:
+            # CSR fast path (each user's items are distinct, so one
+            # global bincount equals the per-user accumulation).
+            counts = np.bincount(
+                self._train_csr[1], minlength=self.num_items
+            ).astype(np.int64)
+        else:
+            counts = np.zeros(self.num_items, dtype=np.int64)
+            for items in self.train_pos:
+                counts[items] += 1
         if include_test:
             valid = self.test_items[self.test_items >= 0]
             np.add.at(counts, valid, 1)

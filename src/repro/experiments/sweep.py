@@ -322,10 +322,15 @@ def cell_cache_key(spec: CellSpec, dataset_fp: str) -> str:
     suite and the native tier-1 CI leg), so a cell's value cannot
     depend on which backend computed it — and a numpy-run cache must
     keep serving native-backend sweeps verbatim, and vice versa.
+    ``sharding`` is excluded for the same reason: the sharded store
+    and the multi-process executor are bit-identical to the dense
+    single-process path (enforced by the executor parity suite), so a
+    dense-run cache serves sharded sweeps verbatim, and vice versa.
     """
     ks = spec.ks if spec.ks is not None else (spec.config.train.top_k,)
     config_record = asdict(spec.config)
     config_record["train"].pop("kernels", None)
+    config_record.pop("sharding", None)
     record = {
         "version": CACHE_VERSION,
         "kind": spec.kind,

@@ -92,7 +92,149 @@ from repro.rng import spawn_batch
 if TYPE_CHECKING:
     from repro.attacks.cohort import CohortUpload
 
-__all__ = ["BatchClientEngine"]
+__all__ = ["BatchClientEngine", "ProcessRoundExecutor"]
+
+
+# ----------------------------------------------------------------------
+# Stacked local training, as pure functions
+#
+# Module-level so the multi-process round executor's workers run the
+# *same code object* as the in-process engine: bit-identity between the
+# two paths is then a property of per-client independence (private RNG
+# streams, per-segment reductions, per-client BPR merges) rather than
+# of two implementations staying in sync.
+# ----------------------------------------------------------------------
+
+
+def _bce_stacks_fn(
+    model: RecommenderModel,
+    train_cfg: TrainConfig,
+    positives_list: list[np.ndarray],
+    rngs: list[np.random.Generator],
+    user_vecs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Stacked BCE local batches and gradients for all clients."""
+    item_ids, labels, lengths = sample_local_batches(
+        rngs,
+        positives_list,
+        model.num_items,
+        train_cfg.negative_ratio,
+    )
+    item_vecs = model.item_embeddings[item_ids]
+    result = model.batch_local_step(user_vecs, item_vecs, labels, lengths)
+    return item_ids, lengths, result.item_grads, result.user_grads, result.param_grads
+
+
+def _bpr_stacks_fn(
+    model: RecommenderModel,
+    positives_list: list[np.ndarray],
+    rngs: list[np.random.Generator],
+    user_vecs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked BPR pairs, trained and merged to per-client uploads.
+
+    Mirrors ``BenignClient._bpr_step`` for the whole stack: pair each
+    positive with one freshly sampled negative (truncating positives
+    when negatives are scarce), run the batched pairwise step, then
+    merge each client's duplicate item rows exactly as the reference's
+    per-client ``np.unique`` + ``np.add.at`` does — realised here as
+    *one* ``np.unique`` over client-offset item keys, whose per-client
+    blocks are the per-client results.
+    """
+    num_clients = len(positives_list)
+    counts = np.array([len(p) for p in positives_list], dtype=np.int64)
+    negatives = sample_negatives_batch(
+        rngs, positives_list, model.num_items, counts
+    )
+    pairs = [
+        (p[: len(n)], n) if len(n) < len(p) else (p, n)
+        for p, n in zip(positives_list, negatives)
+    ]
+    lengths = np.array([len(n) for _, n in pairs], dtype=np.int64)
+    pos_ids = np.concatenate([p for p, _ in pairs])
+    neg_ids = np.concatenate([n for _, n in pairs])
+    pos_vecs = model.item_embeddings[pos_ids]
+    neg_vecs = model.item_embeddings[neg_ids]
+    result = model.batch_local_step_bpr(
+        user_vecs, pos_vecs, neg_vecs, lengths
+    )
+    total = int(lengths.sum())
+    pos_grads = result.item_grads[:total]
+    neg_grads = result.item_grads[total:]
+
+    # Interleave each client's positive and negative rows into the
+    # reference upload order (positives first), then merge duplicate
+    # items per client.  Both buffers inherit the gradient dtype so
+    # reduced-precision models upload at their own precision.
+    starts = segment_starts(lengths)
+    within = np.arange(total) - np.repeat(starts, lengths)
+    dest_base = np.repeat(2 * starts, lengths)
+    all_ids = np.empty(2 * total, dtype=np.int64)
+    all_grads = np.empty(
+        (2 * total, model.embedding_dim), dtype=result.item_grads.dtype
+    )
+    pos_dest = dest_base + within
+    neg_dest = dest_base + np.repeat(lengths, lengths) + within
+    all_ids[pos_dest] = pos_ids
+    all_ids[neg_dest] = neg_ids
+    all_grads[pos_dest] = pos_grads
+    all_grads[neg_dest] = neg_grads
+
+    owners = np.repeat(np.arange(num_clients, dtype=np.int64), 2 * lengths)
+    keys = owners * model.num_items + all_ids
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    merged = np.zeros(
+        (len(unique_keys), model.embedding_dim), dtype=all_grads.dtype
+    )
+    np.add.at(merged, inverse, all_grads)
+    merged_ids = unique_keys % model.num_items
+    merged_lengths = np.bincount(
+        unique_keys // model.num_items, minlength=num_clients
+    ).astype(np.int64)
+    return merged_ids, merged_lengths, merged, result.user_grads
+
+
+def _compute_benign_stacks(
+    model: RecommenderModel,
+    train_cfg: TrainConfig,
+    seed: int,
+    store,
+    benign_ids: np.ndarray,
+    round_idx: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
+    """One store-backed benign local step for a participant subset.
+
+    Returns ``(new_users, item_ids, lengths, item_grads, param_stacks)``
+    with rows in ``benign_ids`` order, *without* scattering the updated
+    embeddings (the caller owns all store writes — pure reads are what
+    make worker retry after a SIGKILL trivially bit-identical).
+
+    Every per-client quantity is a pure function of
+    ``(seed, user_id, round_idx)`` and the frozen round-start model, so
+    computing a subset here equals slicing the full-cohort computation:
+    the exact property the multi-process executor's parity suite pins.
+    Regularized stores never reach this path (the executor rejects
+    them; the in-process engine keeps its own regularizer sequence).
+    """
+    user_vecs = store.gather_rows(benign_ids)
+    positives_list = store.positives_list(benign_ids)
+    rngs = spawn_batch(seed, ("client-round",), benign_ids, (round_idx,))
+    if train_cfg.loss == "bpr":
+        item_ids, lengths, item_grads, user_grads = _bpr_stacks_fn(
+            model, positives_list, rngs, user_vecs
+        )
+        param_stacks: list[np.ndarray] = []
+    else:
+        item_ids, lengths, item_grads, user_grads, param_stacks = (
+            _bce_stacks_fn(model, train_cfg, positives_list, rngs, user_vecs)
+        )
+    if train_cfg.client_lr_range is None:
+        lrs: np.ndarray | float = train_cfg.effective_client_lr
+        new_users = user_vecs - lrs * user_grads
+    else:
+        lrs = store.client_lrs_for(train_cfg.client_lr_range, benign_ids)
+        new_users = user_vecs - lrs[:, None] * user_grads
+    return new_users, item_ids, lengths, item_grads, param_stacks
 
 
 @dataclass
@@ -129,6 +271,7 @@ class BatchClientEngine:
         cohort=None,
         kernel_backend=None,
         fault_controller=None,
+        executor=None,
     ):
         self.model = model
         self.server = server
@@ -172,6 +315,14 @@ class BatchClientEngine:
         #: the hook entirely, keeping the ideal-synchronous path
         #: bit-identical and overhead-free.
         self.fault_controller = fault_controller
+        #: Optional :class:`ProcessRoundExecutor` computing each benign
+        #: local step across forked worker processes attached to the
+        #: sharded store; ``None`` computes rounds in-process.
+        self.executor = executor
+        #: Rounds whose benign step ran on the multi-process executor —
+        #: the anti-fallback counter the million-user CI smoke asserts
+        #: equals the round count (the shm path must actually engage).
+        self.process_rounds = 0
 
     # ------------------------------------------------------------------
     # Round execution
@@ -296,13 +447,45 @@ class BatchClientEngine:
                 zero, zero, zero, np.empty((0, self.model.embedding_dim))
             )
 
-        if store is not None:
-            regs = (
-                [store.regularizer(int(u)) for u in benign_ids]
-                if store.has_regularizers
-                else None
+        if store is not None and not store.has_regularizers:
+            # The regularizer-free store path is a pure function of
+            # (seed, ids, round, model) — run it in-process or farm it
+            # to the executor's workers; either way the engine owns the
+            # single scatter that commits the round.
+            if self.executor is not None:
+                new_users, item_ids, lengths, item_grads, param_stacks = (
+                    self.executor.compute(benign_ids, round_idx)
+                )
+                self.process_rounds += 1
+            else:
+                new_users, item_ids, lengths, item_grads, param_stacks = (
+                    _compute_benign_stacks(
+                        self.model, self.train_cfg, self.seed,
+                        store, benign_ids, round_idx,
+                    )
+                )
+            store.scatter_rows(benign_ids, new_users)
+            param_owners = (
+                np.arange(len(benign_ids), dtype=np.int64)
+                if param_stacks
+                else np.empty(0, dtype=np.int64)
             )
-            user_vecs = store.user_embeddings[benign_ids]
+            return _RoundBatch(
+                item_ids, lengths, segment_starts(lengths),
+                item_grads, param_stacks, param_owners,
+            )
+        if self.executor is not None:
+            # Regularizers appeared after executor construction (or the
+            # store vanished): refusing beats silently computing rounds
+            # on a different path than the one the user asked for.
+            raise RuntimeError(
+                "ProcessRoundExecutor cannot run this round: per-user "
+                "regularizer state lives only in the parent process"
+            )
+
+        if store is not None:
+            regs = [store.regularizer(int(u)) for u in benign_ids]
+            user_vecs = store.gather_rows(benign_ids)
             positives_list = store.positives_list(benign_ids)
             clients = None
         else:
@@ -350,14 +533,16 @@ class BatchClientEngine:
             new_users = user_vecs - lrs * user_grads
         else:
             if store is not None:
-                lrs = store.client_lrs(self.train_cfg.client_lr_range)[benign_ids]
+                lrs = store.client_lrs_for(
+                    self.train_cfg.client_lr_range, benign_ids
+                )
             else:
                 lrs = np.array(
                     [client._client_lr(self.train_cfg) for client in clients]
                 )
             new_users = user_vecs - lrs[:, None] * user_grads
         if store is not None:
-            store.user_embeddings[benign_ids] = new_users
+            store.scatter_rows(benign_ids, new_users)
         else:
             for client, row in zip(clients, new_users):
                 client.user_embedding = row
@@ -373,15 +558,9 @@ class BatchClientEngine:
         user_vecs: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
         """Stacked BCE local batches and gradients for all clients."""
-        item_ids, labels, lengths = sample_local_batches(
-            rngs,
-            positives_list,
-            self.model.num_items,
-            self.train_cfg.negative_ratio,
+        return _bce_stacks_fn(
+            self.model, self.train_cfg, positives_list, rngs, user_vecs
         )
-        item_vecs = self.model.item_embeddings[item_ids]
-        result = self.model.batch_local_step(user_vecs, item_vecs, labels, lengths)
-        return item_ids, lengths, result.item_grads, result.user_grads, result.param_grads
 
     def _bpr_stacks(
         self,
@@ -391,65 +570,10 @@ class BatchClientEngine:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Stacked BPR pairs, trained and merged to per-client uploads.
 
-        Mirrors ``BenignClient._bpr_step`` for the whole stack: pair
-        each positive with one freshly sampled negative (truncating
-        positives when negatives are scarce), run the batched pairwise
-        step, then merge each client's duplicate item rows exactly as
-        the reference's per-client ``np.unique`` + ``np.add.at`` does —
-        realised here as *one* ``np.unique`` over client-offset item
-        keys, whose per-client blocks are the per-client results.
+        Delegates to :func:`_bpr_stacks_fn` — the shared pure function
+        the multi-process executor's workers also run.
         """
-        num_clients = len(positives_list)
-        counts = np.array([len(p) for p in positives_list], dtype=np.int64)
-        negatives = sample_negatives_batch(
-            rngs, positives_list, self.model.num_items, counts
-        )
-        pairs = [
-            (p[: len(n)], n) if len(n) < len(p) else (p, n)
-            for p, n in zip(positives_list, negatives)
-        ]
-        lengths = np.array([len(n) for _, n in pairs], dtype=np.int64)
-        pos_ids = np.concatenate([p for p, _ in pairs])
-        neg_ids = np.concatenate([n for _, n in pairs])
-        pos_vecs = self.model.item_embeddings[pos_ids]
-        neg_vecs = self.model.item_embeddings[neg_ids]
-        result = self.model.batch_local_step_bpr(
-            user_vecs, pos_vecs, neg_vecs, lengths
-        )
-        total = int(lengths.sum())
-        pos_grads = result.item_grads[:total]
-        neg_grads = result.item_grads[total:]
-
-        # Interleave each client's positive and negative rows into the
-        # reference upload order (positives first), then merge duplicate
-        # items per client.  Both buffers inherit the gradient dtype so
-        # reduced-precision models upload at their own precision.
-        starts = segment_starts(lengths)
-        within = np.arange(total) - np.repeat(starts, lengths)
-        dest_base = np.repeat(2 * starts, lengths)
-        all_ids = np.empty(2 * total, dtype=np.int64)
-        all_grads = np.empty(
-            (2 * total, self.model.embedding_dim), dtype=result.item_grads.dtype
-        )
-        pos_dest = dest_base + within
-        neg_dest = dest_base + np.repeat(lengths, lengths) + within
-        all_ids[pos_dest] = pos_ids
-        all_ids[neg_dest] = neg_ids
-        all_grads[pos_dest] = pos_grads
-        all_grads[neg_dest] = neg_grads
-
-        owners = np.repeat(np.arange(num_clients, dtype=np.int64), 2 * lengths)
-        keys = owners * self.model.num_items + all_ids
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        merged = np.zeros(
-            (len(unique_keys), self.model.embedding_dim), dtype=all_grads.dtype
-        )
-        np.add.at(merged, inverse, all_grads)
-        merged_ids = unique_keys % self.model.num_items
-        merged_lengths = np.bincount(
-            unique_keys // self.model.num_items, minlength=num_clients
-        ).astype(np.int64)
-        return merged_ids, merged_lengths, merged, result.user_grads
+        return _bpr_stacks_fn(self.model, positives_list, rngs, user_vecs)
 
     def _bpr_param_stacks(
         self, regs: list | None
@@ -641,3 +765,323 @@ class BatchClientEngine:
             if mal_chunks
             else np.empty(0, dtype=bool),
         )
+
+
+# ----------------------------------------------------------------------
+# Multi-process round execution
+# ----------------------------------------------------------------------
+
+
+class _ModelMirror:
+    """The round-start global model in one fork-shared anonymous mapping.
+
+    The parent publishes ``item_embeddings`` (and any interaction
+    parameters) into the mapping before dispatching a round; each
+    worker copies them into its private model replica before computing.
+    Anonymous ``MAP_SHARED`` memory needs no names, no unlink and no
+    tracker — it dies with the last process that maps it — and is
+    inherited by the fork-spawned workers automatically.
+    """
+
+    def __init__(self, model: RecommenderModel):
+        import mmap as _mmap
+
+        shapes = [model.item_embeddings.shape] + [
+            p.shape for p in model.interaction_params()
+        ]
+        dtypes = [model.item_embeddings.dtype] + [
+            p.dtype for p in model.interaction_params()
+        ]
+        sizes = [
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            for shape, dtype in zip(shapes, dtypes)
+        ]
+        self._mmap = _mmap.mmap(-1, max(1, sum(sizes)))
+        self.views: list[np.ndarray] = []
+        offset = 0
+        buffer = memoryview(self._mmap)
+        for shape, dtype, nbytes in zip(shapes, dtypes, sizes):
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(
+                buffer[offset : offset + nbytes], dtype=dtype, count=count
+            ).reshape(shape)
+            self.views.append(view)
+            offset += nbytes
+
+    def publish(self, model: RecommenderModel) -> None:
+        """Parent side: copy the live model into the shared mapping."""
+        arrays = [model.item_embeddings] + list(model.interaction_params())
+        for view, array in zip(self.views, arrays):
+            view[...] = array
+
+    def load_into(self, model: RecommenderModel) -> None:
+        """Worker side: refresh the private replica from the mapping."""
+        arrays = [model.item_embeddings] + list(model.interaction_params())
+        for array, view in zip(arrays, self.views):
+            array[...] = view
+
+
+def _round_worker_main(
+    conn,
+    store,
+    manifest_json,
+    shard_ids,
+    model,
+    mirror,
+    train_cfg,
+    seed,
+    kernel_backend,
+):
+    """One executor worker: pure per-subset local steps, forever.
+
+    ``store`` arrives fork-inherited; for named-shm stores the worker
+    drops it and re-attaches *only its own shards* through the manifest
+    (the attach path the sweep backend also uses), for anonymous-mmap
+    stores the inherited ``MAP_SHARED`` mappings are the attachment.
+    Every task is a pure read of (store segments, model mirror): the
+    worker never writes shared state, so the parent can kill and
+    re-dispatch at any point without bit-drift.
+    """
+    if manifest_json is not None:
+        from repro.federated.shards import ShardedStateStore
+
+        store = ShardedStateStore.attach(manifest_json, shard_ids=shard_ids)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died; nothing left to do
+            return
+        if message is None:
+            return
+        round_idx, benign_ids = message
+        with kernels.use(kernel_backend) as backend:
+            fallbacks_before = backend.fallback_calls
+            mirror.load_into(model)
+            result = _compute_benign_stacks(
+                model, train_cfg, seed, store, benign_ids, round_idx
+            )
+            fallbacks = backend.fallback_calls - fallbacks_before
+        try:
+            conn.send((round_idx,) + result + (fallbacks,))
+        except (BrokenPipeError, OSError):  # parent died mid-round
+            return
+
+
+class _RoundWorker:
+    """Handle for one forked worker process plus its pipe."""
+
+    def __init__(self, ctx, index, spawn_args):
+        self._ctx = ctx
+        self.index = index
+        self._spawn_args = spawn_args
+        self.conn = None
+        self.process = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_round_worker_main,
+            args=(child_conn,) + self._spawn_args,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.process = process
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.conn.close()
+
+
+class ProcessRoundExecutor:
+    """Computes benign round steps across forked worker processes.
+
+    Each worker owns the shards ``{s : s mod workers == w}`` of a
+    :class:`~repro.federated.shards.ShardedStateStore` and, per round,
+    receives exactly the sampled participants living in those shards.
+    Workers return per-client row stacks plus updated user rows over
+    their pipe; the parent reassembles everything into exact
+    participation order and performs the *single* scatter that commits
+    the round — so the downstream fused server merge
+    (:meth:`~repro.federated.server.Server.apply_batch`) accumulates in
+    precisely the single-process order and the result is bit-identical
+    to the in-process reference (pinned by the executor parity suite).
+
+    Crash tolerance falls out of the dataflow: worker tasks are pure
+    reads, so a worker SIGKILLed mid-round is respawned (re-attaching
+    its shards) and its subset re-dispatched, with no state to repair.
+    ``respawns`` counts those events for the chaos suite.
+
+    Regularized stores are rejected at construction: the client-side
+    defense keeps per-user mutable Python objects that live only in
+    the parent, and silently computing around them would diverge.
+    """
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        train_cfg: TrainConfig,
+        seed: int,
+        store,
+        num_workers: int,
+        *,
+        kernel_backend=None,
+    ):
+        if num_workers < 2:
+            raise ValueError("ProcessRoundExecutor needs num_workers >= 2")
+        backend = getattr(store, "backend", None)
+        if backend not in ("shm", "mmap"):
+            raise ValueError(
+                "ProcessRoundExecutor requires a ShardedStateStore "
+                "(shared segments are what make worker reads see live "
+                "state); got a dense in-process store"
+            )
+        if store.has_regularizers:
+            raise ValueError(
+                "ProcessRoundExecutor cannot execute client-side "
+                "regularization: per-user regularizer state lives only "
+                "in the parent process. Run this config in-process "
+                "(round_workers=0)."
+            )
+        import multiprocessing
+
+        self.model = model
+        self.train_cfg = train_cfg
+        self.seed = seed
+        self.store = store
+        self.num_workers = min(num_workers, store.manifest.num_shards)
+        #: Workers respawned after dying mid-round (chaos counter).
+        self.respawns = 0
+        #: Rounds dispatched through the worker pool.
+        self.rounds = 0
+        #: Kernel numpy-fallback calls reported by workers.
+        self.worker_kernel_fallbacks = 0
+        self._bounds = store.manifest.bounds()
+        self._ctx = multiprocessing.get_context("fork")
+        manifest_json = (
+            store.manifest.to_json() if backend == "shm" else None
+        )
+        # One mirror shared by every worker; created before the forks
+        # so the anonymous mapping is inherited.
+        self._mirror = _ModelMirror(model)
+        self._pool = []
+        for w in range(self.num_workers):
+            shard_ids = [
+                s
+                for s in range(store.manifest.num_shards)
+                if s % self.num_workers == w
+            ]
+            spawn_args = (
+                None if manifest_json is not None else store,
+                manifest_json,
+                shard_ids,
+                model,
+                self._mirror,
+                train_cfg,
+                seed,
+                kernel_backend,
+            )
+            self._pool.append(_RoundWorker(self._ctx, w, spawn_args))
+        self._closed = False
+
+    # -- dispatch -------------------------------------------------------
+
+    def _worker_of(self, benign_ids: np.ndarray) -> np.ndarray:
+        shards = np.searchsorted(self._bounds, benign_ids, side="right") - 1
+        return shards % self.num_workers
+
+    def compute(
+        self, benign_ids: np.ndarray, round_idx: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]]:
+        """One round's benign stacks, reassembled in participation order."""
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        self._mirror.publish(self.model)
+        ids = np.asarray(benign_ids, dtype=np.int64)
+        owners = self._worker_of(ids)
+        tasks: list[tuple[_RoundWorker, np.ndarray]] = []
+        for w in np.unique(owners):
+            positions = np.flatnonzero(owners == w)
+            tasks.append((self._pool[int(w)], positions))
+        # Phase 1: every worker gets its subset before any reply is
+        # awaited, so all workers compute concurrently.
+        for worker, positions in tasks:
+            self._send(worker, round_idx, ids[positions])
+        # Phase 2: collect (respawn + re-dispatch on worker death —
+        # tasks are pure reads and nothing was scattered yet, so a
+        # fresh worker recomputes the identical subset).
+        replies = [
+            self._recv(worker, round_idx, ids[positions])
+            for worker, positions in tasks
+        ]
+        self.rounds += 1
+        return self._reassemble(benign_ids, tasks, replies)
+
+    def _send(self, worker: _RoundWorker, round_idx, ids) -> None:
+        try:
+            worker.conn.send((round_idx, ids))
+        except (BrokenPipeError, OSError):
+            self.respawns += 1
+            worker.spawn()
+            worker.conn.send((round_idx, ids))
+
+    def _recv(self, worker: _RoundWorker, round_idx, ids):
+        for attempt in range(3):
+            try:
+                reply = worker.conn.recv()
+                if reply[0] != round_idx:  # pragma: no cover - stale reply
+                    raise RuntimeError("out-of-order executor reply")
+                self.worker_kernel_fallbacks += int(reply[-1])
+                return reply[1:-1]
+            except (EOFError, BrokenPipeError, OSError):
+                self.respawns += 1
+                worker.spawn()
+                worker.conn.send((round_idx, ids))
+        raise RuntimeError(
+            f"executor worker {worker.index} kept dying mid-round; giving up"
+        )
+
+    def _reassemble(self, benign_ids, tasks, replies):
+        """Merge per-worker subset results back into cohort order."""
+        positions = np.concatenate([p for _, p in tasks])
+        order = np.argsort(positions)
+        new_users = np.concatenate([r[0] for r in replies])[order]
+        lengths_cat = np.concatenate([r[2] for r in replies])
+        ids_cat = np.concatenate([r[1] for r in replies])
+        grads_cat = np.concatenate([r[3] for r in replies])
+        lengths = lengths_cat[order]
+        total = int(lengths_cat.sum())
+        starts_cat = segment_starts(lengths_cat)
+        # Row permutation: client `order[k]`'s contiguous row segment
+        # moves to position k, rows within a segment keep their order.
+        row_idx = (
+            np.repeat(starts_cat[order], lengths)
+            + np.arange(total, dtype=np.int64)
+            - np.repeat(segment_starts(lengths), lengths)
+        )
+        item_ids = ids_cat[row_idx]
+        item_grads = grads_cat[row_idx]
+        num_param_stacks = len(replies[0][4]) if replies else 0
+        param_stacks = [
+            np.concatenate([r[4][index] for r in replies])[order]
+            for index in range(num_param_stacks)
+        ]
+        return new_users, item_ids, lengths, item_grads, param_stacks
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for worker in self._pool:
+                worker.stop()

@@ -99,13 +99,13 @@ class BenignClient:
     def user_embedding(self) -> np.ndarray:
         """The private embedding — a store-row view when store-backed."""
         if self._store is not None:
-            return self._store.user_embeddings[self.user_id]
+            return self._store.row(self.user_id)
         return self._user_embedding
 
     @user_embedding.setter
     def user_embedding(self, value: np.ndarray) -> None:
         if self._store is not None:
-            self._store.user_embeddings[self.user_id] = value
+            self._store.set_row(self.user_id, value)
         else:
             self._user_embedding = value
 
@@ -184,10 +184,14 @@ class BenignClient:
         if train_cfg.client_lr_range is None:
             return train_cfg.effective_client_lr
         if self._store is not None:
-            # The store draws every client's rate in one vectorised
-            # pass (cached); entry u is bit-identical to the scalar
-            # spawn below.
-            return float(self._store.client_lrs(train_cfg.client_lr_range)[self.user_id])
+            # The store draws client rates in one vectorised pass
+            # (cached, or served from shared-memory segments); entry u
+            # is bit-identical to the scalar spawn below.
+            return float(
+                self._store.client_lrs_for(
+                    train_cfg.client_lr_range, np.array([self.user_id])
+                )[0]
+            )
         low, high = train_cfg.client_lr_range
         if not 0 < low <= high:
             raise ValueError("client_lr_range must satisfy 0 < low <= high")

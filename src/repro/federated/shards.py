@@ -1,0 +1,1070 @@
+"""Sharded shared-memory backing store for benign client state.
+
+The dense :class:`~repro.federated.state.ClientStateStore` keeps the
+whole population in one in-process ``(num_users, dim)`` matrix — at
+10M users x dim 64 that is ~2.5 GB *per process copy*, which makes
+memory (not arithmetic) the binding constraint for "millions of
+users".  :class:`ShardedStateStore` keeps the same state split into
+``num_shards`` contiguous user-id ranges, each range backed by named
+POSIX shared-memory segments (``multiprocessing.shared_memory``) or by
+anonymous fork-shared mappings:
+
+* ``emb``     — the shard's ``(n, dim)`` float64 embedding rows;
+* ``indptr``  — the shard's *local* CSR offsets, ``(n + 1,)`` int64
+  (entry 0 is always 0: global offsets minus ``indptr[lo]``);
+* ``indices`` — the shard's positive-item ids, ``(nnz,)`` int64;
+* ``lr``      — optionally, the shard's per-client learning-rate
+  draws for the inconsistent-rate scenario, ``(n,)`` float64.
+
+A small JSON :class:`ShardManifest` (segment names, dtypes, shapes,
+user-id ranges, creator pid, config digest) is the only thing that
+crosses process boundaries: a worker attaches the segments it needs
+zero-copy and sees the *live* state, so N workers cost ~one dataset of
+RSS instead of N.
+
+Regularizers are the one piece that cannot live in a segment: the
+client-side defense keeps genuinely per-user mutable Python objects.
+They stay in the creating process exactly as in the dense store; the
+multi-process executor refuses regularized configs loudly instead of
+silently diverging (see
+:class:`~repro.federated.batch_engine.ProcessRoundExecutor`).
+
+Lifecycle rules (the PR 9 lease machinery's spirit, applied to shm):
+
+* segments are *refcounted per process* — attaching the same segment
+  twice maps it once; the last detach closes the mapping;
+* the **creator** unlinks its segments on :meth:`close`, at garbage
+  collection and at interpreter exit (``weakref.finalize`` covers both);
+  attachers only ever close, never unlink;
+* segment names embed the creator pid and a random run token
+  (``repro_shm_<pid>_<token>_...``), so a segment whose creator is dead
+  is detectably *stale*: :meth:`ShardedStateStore.attach` refuses it,
+  and ``repro fsck`` lists (and with ``--repair`` unlinks) such
+  orphans while never touching foreign /dev/shm entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import mmap
+import os
+import uuid
+import weakref
+
+import numpy as np
+
+from repro.rng import spawn_first_uniform, spawn_normal_rows
+
+__all__ = [
+    "ShardManifest",
+    "ShardedStateStore",
+    "SharedDatasetExport",
+    "CSRRaggedList",
+    "EmbeddingMatrixView",
+    "shard_bounds",
+    "segment_prefix",
+    "list_repro_segments",
+    "orphaned_segments",
+    "unlink_segment",
+    "shared_memory_available",
+]
+
+MANIFEST_VERSION = "shards-v1"
+DATASET_MANIFEST_VERSION = "dsexport-v1"
+
+#: Every segment this library creates starts with this prefix; fsck
+#: only ever looks at (and only ever unlinks) names under it.
+SEGMENT_PREFIX = "repro_shm_"
+SHM_DIR = "/dev/shm"
+
+
+def segment_prefix(pid: int | None = None, token: str | None = None) -> str:
+    """Name prefix for this process (or the given pid/token)."""
+    parts = [SEGMENT_PREFIX[:-1], str(os.getpid() if pid is None else pid)]
+    if token is not None:
+        parts.append(token)
+    return "_".join(parts) + "_"
+
+
+def shared_memory_available() -> bool:
+    """Whether named POSIX shared memory is usable on this host."""
+    return os.path.isdir(SHM_DIR)
+
+
+# ----------------------------------------------------------------------
+# Segment layer: refcounted named-shm / anonymous-mmap buffers
+# ----------------------------------------------------------------------
+
+class _Mapping:
+    """One mapped segment plus its per-process refcount."""
+
+    __slots__ = ("buf", "refs", "shm", "mm")
+
+    def __init__(self, buf, shm=None, mm=None):
+        self.buf = buf
+        self.refs = 1
+        self.shm = shm
+        self.mm = mm
+
+
+#: name -> _Mapping for every *named* segment mapped in this process.
+_MAPPINGS: dict[str, _Mapping] = {}
+
+#: SharedMemory objects whose close() failed because caller-held views
+#: still point into the buffer (e.g. a zero-copy dataset outliving its
+#: export).  Kept alive so the garbage collector never runs their
+#: ``__del__`` — which would retry the close and surface the same
+#: BufferError as an unraisable warning; the OS reclaims the mapping
+#: at process exit.
+_ZOMBIE_MAPPINGS: list[object] = []
+
+
+def _shm_open(name: str, size: int, create: bool):
+    """Create or attach one named segment, refcounted per process.
+
+    Attaching goes through :mod:`multiprocessing.shared_memory`; the
+    attach side immediately unregisters from the resource tracker —
+    only the *creator* may unlink, and the tracker would otherwise
+    unlink (and warn about) segments it merely attached on 3.10/3.11.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    mapping = _MAPPINGS.get(name)
+    if mapping is not None:
+        if create:
+            raise FileExistsError(f"segment {name!r} already mapped here")
+        mapping.refs += 1
+        return mapping.buf
+    shm = shared_memory.SharedMemory(
+        name=name, create=create, size=max(1, size) if create else 0
+    )
+    if not create:
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        if shm.size < size:
+            shm.close()
+            raise ValueError(
+                f"segment {name!r} holds {shm.size} bytes, "
+                f"manifest expects {size}"
+            )
+    _MAPPINGS[name] = _Mapping(shm.buf, shm=shm)
+    return shm.buf
+
+
+def _shm_release(name: str) -> None:
+    """Drop one reference; close the mapping when none remain."""
+    mapping = _MAPPINGS.get(name)
+    if mapping is None:
+        return
+    mapping.refs -= 1
+    if mapping.refs <= 0:
+        del _MAPPINGS[name]
+        try:
+            # Views into the buffer may still be alive in caller hands;
+            # memoryview release errors just mean "in use", and the
+            # mapping then lives until the process exits.
+            mapping.shm.close()
+        except BufferError:
+            _ZOMBIE_MAPPINGS.append(mapping.shm)
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink one named segment; ``True`` if it existed."""
+    if not name.startswith(SEGMENT_PREFIX):
+        raise ValueError(f"refusing to unlink foreign segment {name!r}")
+    try:
+        os.unlink(os.path.join(SHM_DIR, name))
+        removed = True
+    except (FileNotFoundError, OSError):
+        removed = False
+    # The creating process registered the segment with the resource
+    # tracker at SharedMemory() time; deregister so the tracker does
+    # not warn about (and re-attempt) already-unlinked segments at
+    # interpreter shutdown.
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+    return removed
+
+
+class _SegmentSet:
+    """All segments owned or attached by one store, as ndarrays."""
+
+    def __init__(self, backend: str):
+        if backend not in ("shm", "mmap"):
+            raise ValueError(f"unknown segment backend {backend!r}")
+        if backend == "shm" and not shared_memory_available():
+            raise RuntimeError(
+                f"backend 'shm' requested but {SHM_DIR} is unavailable; "
+                f"use shared_memory=False (anonymous mmap) instead"
+            )
+        self.backend = backend
+        self.names: list[str] = []
+        self._anon: list[mmap.mmap] = []
+        self.created = False
+
+    def new(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Allocate one zero-filled segment owned by this set."""
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if self.backend == "shm":
+            buf = _shm_open(name, nbytes, create=True)
+            self.names.append(name)
+        else:
+            mm = mmap.mmap(-1, max(1, nbytes))
+            self._anon.append(mm)
+            buf = mm
+        self.created = True
+        array = np.frombuffer(buf, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)))
+        return array.reshape(shape)
+
+    def attach(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Map an existing named segment (shm backend only)."""
+        if self.backend != "shm":
+            raise RuntimeError(
+                "anonymous-mmap segments cannot be attached by name; "
+                "they are shared only with fork-inherited children"
+            )
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        buf = _shm_open(name, nbytes, create=False)
+        self.names.append(name)
+        array = np.frombuffer(buf, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)))
+        return array.reshape(shape)
+
+    def release(self, *, unlink: bool) -> None:
+        for name in self.names:
+            _shm_release(name)
+            if unlink:
+                unlink_segment(name)
+        self.names = []
+        for mm in self._anon:
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - caller still holds views
+                pass
+        self._anon = []
+
+
+def _cleanup_segments(segments: _SegmentSet, unlink: bool, owner_pid: int) -> None:
+    """Finalizer body shared by stores and dataset exports.
+
+    Fork-inherited copies of a creator object carry its finalizer too;
+    the pid guard makes sure only the *creating process* ever unlinks —
+    a worker dropping its inherited reference must not reap segments
+    the parent still serves.
+    """
+    segments.release(unlink=unlink and os.getpid() == owner_pid)
+
+
+# ----------------------------------------------------------------------
+# Shard geometry
+# ----------------------------------------------------------------------
+
+def shard_bounds(num_users: int, num_shards: int) -> np.ndarray:
+    """Contiguous, balanced shard boundaries: ``bounds[s] : bounds[s+1]``.
+
+    Every user id in ``[0, num_users)`` falls in exactly one shard and
+    shard sizes differ by at most one (the first ``num_users mod
+    num_shards`` shards get the extra user) — both properties are
+    pinned by hypothesis tests.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_users < 0:
+        raise ValueError("num_users must be >= 0")
+    num_shards = min(num_shards, max(1, num_users))
+    base, extra = divmod(num_users, num_shards)
+    sizes = np.full(num_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(num_shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def _shard_of(bounds: np.ndarray, user_ids: np.ndarray) -> np.ndarray:
+    """Shard index of every user id (``bounds`` from :func:`shard_bounds`)."""
+    ids = np.asarray(user_ids, dtype=np.int64)
+    return np.searchsorted(bounds, ids, side="right") - 1
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ShardManifest:
+    """Everything a worker needs to attach a store's segments."""
+
+    token: str
+    pid: int
+    backend: str  # "shm" | "mmap"
+    num_users: int
+    num_items: int
+    embedding_dim: int
+    seed: int
+    config_digest: str
+    #: ``(lo, hi, nnz)`` per shard, in shard order.
+    shards: tuple[tuple[int, int, int], ...]
+    #: Field -> segment name per shard (empty names for mmap backend).
+    segments: tuple[dict[str, str], ...]
+    lr_range: tuple[float, float] | None = None
+    version: str = MANIFEST_VERSION
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def bounds(self) -> np.ndarray:
+        return np.asarray(
+            [lo for lo, _, _ in self.shards] + [self.num_users],
+            dtype=np.int64,
+        )
+
+    def to_json(self) -> str:
+        record = dataclasses.asdict(self)
+        record["shards"] = [list(entry) for entry in self.shards]
+        record["segments"] = [dict(entry) for entry in self.segments]
+        if self.lr_range is not None:
+            record["lr_range"] = [float(v) for v in self.lr_range]
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardManifest":
+        record = json.loads(text)
+        version = record.get("version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported shard manifest version {version!r} "
+                f"(expected {MANIFEST_VERSION!r})"
+            )
+        lr_range = record.get("lr_range")
+        return cls(
+            token=record["token"],
+            pid=int(record["pid"]),
+            backend=record["backend"],
+            num_users=int(record["num_users"]),
+            num_items=int(record["num_items"]),
+            embedding_dim=int(record["embedding_dim"]),
+            seed=int(record["seed"]),
+            config_digest=record.get("config_digest", ""),
+            shards=tuple(
+                (int(lo), int(hi), int(nnz))
+                for lo, hi, nnz in record["shards"]
+            ),
+            segments=tuple(
+                {str(k): str(v) for k, v in entry.items()}
+                for entry in record["segments"]
+            ),
+            lr_range=None if lr_range is None else (
+                float(lr_range[0]), float(lr_range[1])
+            ),
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, not ours
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# The sharded store
+# ----------------------------------------------------------------------
+
+class _Shard:
+    """One contiguous user range's mapped arrays."""
+
+    __slots__ = ("lo", "hi", "emb", "indptr", "indices", "lr")
+
+    def __init__(self, lo, hi, emb, indptr, indices, lr=None):
+        self.lo = lo
+        self.hi = hi
+        self.emb = emb
+        self.indptr = indptr
+        self.indices = indices
+        self.lr = lr
+
+
+class ShardedStateStore:
+    """Drop-in :class:`ClientStateStore` backed by per-shard segments.
+
+    Implements the exact store surface the batch engine, the
+    ``BenignClient`` view layer, streaming evaluation and checkpoints
+    consume — gather/scatter/row access, CSR positives, per-client
+    learning rates, lazy regularizers — with the arrays living in
+    shared segments instead of one dense private matrix.  Bit-identity
+    with the dense store is asserted by the parity suite.
+    """
+
+    def __init__(
+        self,
+        manifest: ShardManifest,
+        segments: _SegmentSet,
+        shards: dict[int, _Shard],
+        *,
+        regularizer_factory=None,
+        created: bool,
+    ):
+        self.manifest = manifest
+        self.num_items = manifest.num_items
+        self._seed = manifest.seed
+        self._segments = segments
+        self._shards = shards
+        self._bounds = manifest.bounds()
+        self._created = created
+        self._regularizer_factory = regularizer_factory
+        self._regularizers: dict[int, object] = {}
+        self._client_lr_cache: tuple[tuple[float, float], np.ndarray] | None = None
+        self._closed = False
+        # Covers explicit close, garbage collection and interpreter
+        # exit: the creator unlinks, attachers merely unmap.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, segments, created, os.getpid()
+        )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        train_pos,
+        num_items: int,
+        embedding_dim: int,
+        *,
+        seed: int = 0,
+        init_scale: float = 0.1,
+        regularizer_factory=None,
+        num_shards: int = 1,
+        backend: str = "shm",
+        lr_range: tuple[float, float] | None = None,
+        config_digest: str = "",
+    ) -> "ShardedStateStore":
+        """Build from ragged positive-item lists (or a CSR-backed one).
+
+        Row ``u`` of the sharded embedding state is bit-identical to
+        the dense store's: each shard draws its rows through the same
+        per-user ``spawn_normal_rows`` stream, just restricted to its
+        own id range.
+        """
+        if hasattr(train_pos, "csr_arrays"):
+            indptr, indices = train_pos.csr_arrays()
+        else:
+            num_users = len(train_pos)
+            lengths = np.fromiter(
+                (len(items) for items in train_pos),
+                dtype=np.int64,
+                count=num_users,
+            )
+            indptr = np.zeros(num_users + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            indices = (
+                np.ascontiguousarray(np.concatenate(train_pos), dtype=np.int64)
+                if num_users
+                else np.empty(0, dtype=np.int64)
+            )
+        return cls.from_csr(
+            indptr,
+            indices,
+            num_items,
+            embedding_dim,
+            seed=seed,
+            init_scale=init_scale,
+            regularizer_factory=regularizer_factory,
+            num_shards=num_shards,
+            backend=backend,
+            lr_range=lr_range,
+            config_digest=config_digest,
+        )
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        num_items: int,
+        embedding_dim: int,
+        *,
+        seed: int = 0,
+        init_scale: float = 0.1,
+        regularizer_factory=None,
+        num_shards: int = 1,
+        backend: str = "shm",
+        lr_range: tuple[float, float] | None = None,
+        config_digest: str = "",
+    ) -> "ShardedStateStore":
+        """Build directly from global CSR arrays (no ragged list)."""
+        num_users = len(indptr) - 1
+        bounds = shard_bounds(num_users, num_shards)
+        token = uuid.uuid4().hex[:12]
+        pid = os.getpid()
+        segments = _SegmentSet(backend)
+        shard_meta: list[tuple[int, int, int]] = []
+        shard_names: list[dict[str, str]] = []
+        shards: dict[int, _Shard] = {}
+        try:
+            for s in range(len(bounds) - 1):
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                n = hi - lo
+                nnz = int(indptr[hi] - indptr[lo])
+                names = {}
+
+                def _segment(field, shape, dtype):
+                    if backend == "shm":
+                        name = f"{segment_prefix(pid, token)}{field}_{s:04d}"
+                        names[field] = name
+                        return segments.new(name, shape, dtype)
+                    return segments.new("", shape, dtype)
+
+                emb = _segment("emb", (n, embedding_dim), np.float64)
+                emb[...] = spawn_normal_rows(
+                    seed,
+                    ("client-init",),
+                    np.arange(lo, hi),
+                    embedding_dim,
+                    scale=init_scale,
+                )
+                local_indptr = _segment("indptr", (n + 1,), np.int64)
+                local_indptr[...] = indptr[lo : hi + 1] - indptr[lo]
+                local_indices = _segment("indices", (nnz,), np.int64)
+                local_indices[...] = indices[indptr[lo] : indptr[hi]]
+                lr = None
+                if lr_range is not None:
+                    low, high = lr_range
+                    lr = _segment("lr", (n,), np.float64)
+                    lr[...] = np.exp(
+                        spawn_first_uniform(
+                            seed,
+                            ("client-lr",),
+                            np.arange(lo, hi),
+                            float(np.log(low)),
+                            float(np.log(high)),
+                        )
+                    )
+                shard_meta.append((lo, hi, nnz))
+                shard_names.append(names)
+                shards[s] = _Shard(lo, hi, emb, local_indptr, local_indices, lr)
+        except BaseException:
+            segments.release(unlink=True)
+            raise
+        manifest = ShardManifest(
+            token=token,
+            pid=pid,
+            backend=backend,
+            num_users=num_users,
+            num_items=num_items,
+            embedding_dim=embedding_dim,
+            seed=seed,
+            config_digest=config_digest,
+            shards=tuple(shard_meta),
+            segments=tuple(shard_names),
+            lr_range=None if lr_range is None else (
+                float(lr_range[0]), float(lr_range[1])
+            ),
+        )
+        return cls(
+            manifest,
+            segments,
+            shards,
+            regularizer_factory=regularizer_factory,
+            created=True,
+        )
+
+    @classmethod
+    def attach(
+        cls,
+        manifest: ShardManifest | str,
+        *,
+        shard_ids=None,
+        regularizer_factory=None,
+        allow_stale: bool = False,
+    ) -> "ShardedStateStore":
+        """Attach an existing store's segments (shm backend only).
+
+        ``shard_ids`` restricts the attachment to a subset of shards —
+        a round worker maps only the ranges it owns.  Attaching
+        segments whose creator process is dead raises (they are stale
+        orphans fsck should reap), unless ``allow_stale`` is set.
+        """
+        if isinstance(manifest, str):
+            manifest = ShardManifest.from_json(manifest)
+        if manifest.backend != "shm":
+            raise RuntimeError(
+                "only named shared-memory stores can be attached by "
+                "manifest; anonymous-mmap stores are fork-inherited"
+            )
+        if not allow_stale and not _pid_alive(manifest.pid):
+            raise RuntimeError(
+                f"stale shard segments: creator pid {manifest.pid} is "
+                f"dead (run `repro fsck --repair` to reap orphans)"
+            )
+        wanted = (
+            range(manifest.num_shards)
+            if shard_ids is None
+            else sorted(int(s) for s in shard_ids)
+        )
+        segments = _SegmentSet("shm")
+        shards: dict[int, _Shard] = {}
+        dim = manifest.embedding_dim
+        try:
+            for s in wanted:
+                lo, hi, nnz = manifest.shards[s]
+                names = manifest.segments[s]
+                n = hi - lo
+                emb = segments.attach(names["emb"], (n, dim), np.float64)
+                indptr = segments.attach(names["indptr"], (n + 1,), np.int64)
+                indices = segments.attach(names["indices"], (nnz,), np.int64)
+                lr = None
+                if "lr" in names:
+                    lr = segments.attach(names["lr"], (n,), np.float64)
+                shards[s] = _Shard(lo, hi, emb, indptr, indices, lr)
+        except BaseException:
+            segments.release(unlink=False)
+            raise
+        return cls(
+            manifest,
+            segments,
+            shards,
+            regularizer_factory=regularizer_factory,
+            created=False,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def created(self) -> bool:
+        return self._created
+
+    @property
+    def backend(self) -> str:
+        return self.manifest.backend
+
+    @property
+    def attached_shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def close(self) -> None:
+        """Detach (and, for the creator, unlink) all segments."""
+        if not self._closed:
+            self._closed = True
+            self._shards = {}
+            self._finalizer()
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def num_users(self) -> int:
+        return self.manifest.num_users
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.manifest.embedding_dim
+
+    def _shard_for_user(self, user_id: int) -> _Shard:
+        if not 0 <= user_id < self.num_users:
+            raise IndexError(f"user id {user_id} out of range")
+        s = int(_shard_of(self._bounds, np.asarray([user_id]))[0])
+        try:
+            return self._shards[s]
+        except KeyError:
+            raise KeyError(
+                f"shard {s} (user {user_id}) is not attached here; "
+                f"attached: {self.attached_shard_ids}"
+            ) from None
+
+    # -- embedding access API -------------------------------------------
+
+    def gather_rows(self, user_ids: np.ndarray) -> np.ndarray:
+        """Copy of the users' embedding rows, in ``user_ids`` order."""
+        ids = np.asarray(user_ids, dtype=np.int64)
+        out = np.empty((len(ids), self.embedding_dim), dtype=np.float64)
+        owners = _shard_of(self._bounds, ids)
+        for s in np.unique(owners):
+            shard = self._shards.get(int(s))
+            if shard is None:
+                raise KeyError(
+                    f"shard {int(s)} is not attached here; "
+                    f"attached: {self.attached_shard_ids}"
+                )
+            sel = owners == s
+            out[sel] = shard.emb[ids[sel] - shard.lo]
+        return out
+
+    def scatter_rows(self, user_ids: np.ndarray, rows: np.ndarray) -> None:
+        """Write one row per user id (ids must be distinct)."""
+        ids = np.asarray(user_ids, dtype=np.int64)
+        rows = np.asarray(rows)
+        owners = _shard_of(self._bounds, ids)
+        for s in np.unique(owners):
+            shard = self._shards.get(int(s))
+            if shard is None:
+                raise KeyError(
+                    f"shard {int(s)} is not attached here; "
+                    f"attached: {self.attached_shard_ids}"
+                )
+            sel = owners == s
+            shard.emb[ids[sel] - shard.lo] = rows[sel]
+
+    def row(self, user_id: int) -> np.ndarray:
+        """One user's embedding row — a live view into its segment."""
+        shard = self._shard_for_user(int(user_id))
+        return shard.emb[int(user_id) - shard.lo]
+
+    def set_row(self, user_id: int, value: np.ndarray) -> None:
+        shard = self._shard_for_user(int(user_id))
+        shard.emb[int(user_id) - shard.lo] = value
+
+    def embedding_block(self, lo: int, hi: int) -> np.ndarray:
+        """Users ``[lo, hi)``; zero-copy when one shard covers them."""
+        first = int(_shard_of(self._bounds, np.asarray([lo]))[0]) if hi > lo else 0
+        shard = self._shards.get(first)
+        if hi <= lo:
+            return np.empty((0, self.embedding_dim), dtype=np.float64)
+        if shard is not None and shard.lo <= lo and hi <= shard.hi:
+            return shard.emb[lo - shard.lo : hi - shard.lo]
+        out = np.empty((hi - lo, self.embedding_dim), dtype=np.float64)
+        cursor = lo
+        while cursor < hi:
+            shard = self._shard_for_user(cursor)
+            stop = min(hi, shard.hi)
+            out[cursor - lo : stop - lo] = shard.emb[
+                cursor - shard.lo : stop - shard.lo
+            ]
+            cursor = stop
+        return out
+
+    def snapshot_embeddings(self) -> np.ndarray:
+        """Dense copy of the full matrix (checkpoint capture)."""
+        return np.ascontiguousarray(self.embedding_block(0, self.num_users))
+
+    def load_embeddings(self, matrix: np.ndarray) -> None:
+        """Restore every shard from a dense checkpoint copy."""
+        if matrix.shape != (self.num_users, self.embedding_dim):
+            raise ValueError(
+                f"embedding snapshot shape {matrix.shape} does not match "
+                f"store ({self.num_users}, {self.embedding_dim})"
+            )
+        for s in range(self.manifest.num_shards):
+            shard = self._shards.get(s)
+            if shard is None:
+                raise KeyError(
+                    f"cannot restore shard {s}: not attached here"
+                )
+            shard.emb[...] = matrix[shard.lo : shard.hi]
+
+    # -- CSR positives --------------------------------------------------
+
+    def positives(self, user_id: int) -> np.ndarray:
+        """User's positive items — a zero-copy slice of its segment."""
+        shard = self._shard_for_user(int(user_id))
+        local = int(user_id) - shard.lo
+        return shard.indices[shard.indptr[local] : shard.indptr[local + 1]]
+
+    def positives_list(self, user_ids: np.ndarray) -> list[np.ndarray]:
+        return [self.positives(int(user_id)) for user_id in user_ids]
+
+    def to_ragged(self) -> list[np.ndarray]:
+        return [self.positives(u).copy() for u in range(self.num_users)]
+
+    def train_mask_block(self, lo: int, hi: int) -> np.ndarray:
+        """Boolean ``(hi - lo, num_items)`` training-interaction mask."""
+        block = np.zeros((hi - lo, self.num_items), dtype=bool)
+        cursor = lo
+        while cursor < hi:
+            shard = self._shard_for_user(cursor)
+            stop = min(hi, shard.hi)
+            a, b = cursor - shard.lo, stop - shard.lo
+            counts = np.diff(shard.indptr[a : b + 1])
+            rows = np.repeat(np.arange(cursor - lo, stop - lo), counts)
+            cols = shard.indices[shard.indptr[a] : shard.indptr[b]]
+            block[rows, cols] = True
+            cursor = stop
+        return block
+
+    # -- per-client scalar state ----------------------------------------
+
+    def client_lrs(self, lr_range: tuple[float, float]) -> np.ndarray:
+        """Every client's fixed local learning rate (needs all shards)."""
+        low, high = lr_range
+        if not 0 < low <= high:
+            raise ValueError("client_lr_range must satisfy 0 < low <= high")
+        if self._client_lr_cache is None or self._client_lr_cache[0] != (low, high):
+            self._client_lr_cache = (
+                (low, high),
+                self.client_lrs_for(lr_range, np.arange(self.num_users)),
+            )
+        return self._client_lr_cache[1]
+
+    def client_lrs_for(
+        self, lr_range: tuple[float, float], user_ids: np.ndarray
+    ) -> np.ndarray:
+        """The given users' rates, served from segments when possible."""
+        low, high = lr_range
+        if not 0 < low <= high:
+            raise ValueError("client_lr_range must satisfy 0 < low <= high")
+        ids = np.asarray(user_ids, dtype=np.int64)
+        if self.manifest.lr_range == (float(low), float(high)):
+            out = np.empty(len(ids), dtype=np.float64)
+            owners = _shard_of(self._bounds, ids)
+            for s in np.unique(owners):
+                shard = self._shards.get(int(s))
+                if shard is None or shard.lr is None:
+                    break
+                sel = owners == s
+                out[sel] = shard.lr[ids[sel] - shard.lo]
+            else:
+                return out
+        # Range differs from the one baked into the segments (or no lr
+        # segments exist): the draws are a pure function of
+        # (seed, user_id), so recompute exactly the scalar reference.
+        return np.exp(
+            spawn_first_uniform(
+                self._seed,
+                ("client-lr",),
+                ids,
+                float(np.log(low)),
+                float(np.log(high)),
+            )
+        )
+
+    # -- regularizers (per-user Python state, creator-process only) -----
+
+    @property
+    def has_regularizers(self) -> bool:
+        return self._regularizer_factory is not None or bool(self._regularizers)
+
+    def regularizer(self, user_id: int):
+        try:
+            return self._regularizers[user_id]
+        except KeyError:
+            if self._regularizer_factory is None:
+                return None
+            regularizer = self._regularizer_factory()
+            self._regularizers[user_id] = regularizer
+            return regularizer
+
+    def set_regularizer(self, user_id: int, regularizer) -> None:
+        self._regularizers[user_id] = regularizer
+
+
+# ----------------------------------------------------------------------
+# Shared-memory dataset export (sweep worker pools)
+# ----------------------------------------------------------------------
+
+class CSRRaggedList:
+    """Read-only ragged ``train_pos`` facade over CSR arrays.
+
+    ``dataset.train_pos[u]`` stays a per-user int64 array (a zero-copy
+    slice of the shared ``indices`` segment), but no per-user Python
+    list of a million arrays is ever materialised.  Store builders
+    shortcut through :meth:`csr_arrays`.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = indptr
+        self._indices = indices
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._indptr, self._indices
+
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    def __getitem__(self, user_id):
+        if isinstance(user_id, slice):
+            return [self[i] for i in range(*user_id.indices(len(self)))]
+        if user_id < 0:
+            user_id += len(self)
+        if not 0 <= user_id < len(self):
+            raise IndexError("train_pos index out of range")
+        return self._indices[self._indptr[user_id] : self._indptr[user_id + 1]]
+
+    def __iter__(self):
+        return (self[u] for u in range(len(self)))
+
+
+class EmbeddingMatrixView:
+    """Sliceable user-embedding facade over a sharded store.
+
+    Streaming evaluation (``model.score_blocks``) only needs ``len()``
+    and contiguous ``[lo:hi]`` slices; this adapter serves both from
+    :meth:`ShardedStateStore.embedding_block` without ever
+    materialising the dense ``num_users x dim`` matrix, so the
+    block-wise scores are bit-identical to the dense store's.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "ShardedStateStore"):
+        self._store = store
+
+    def __len__(self) -> int:
+        return self._store.num_users
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self), self._store.embedding_dim)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            lo, hi, step = key.indices(len(self))
+            if step != 1:
+                raise ValueError("EmbeddingMatrixView supports step-1 slices only")
+            return self._store.embedding_block(lo, hi)
+        return self._store.row(int(key))
+
+
+class SharedDatasetExport:
+    """One dataset packed into named segments for worker-pool attach.
+
+    Replaces the sweep pool's pickle-once initializer payload: the
+    parent exports each dataset once (CSR ``indptr``/``indices`` plus
+    ``test_items``), workers attach by manifest and reconstruct an
+    :class:`~repro.datasets.base.InteractionDataset` whose per-user
+    arrays are zero-copy views into the shared segments — N workers
+    cost ~one dataset of RSS, not N.
+    """
+
+    def __init__(self, manifest: dict, segments: _SegmentSet, dataset, created: bool):
+        self.manifest = manifest
+        self._segments = segments
+        self.dataset = dataset
+        self._created = created
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, segments, created, os.getpid()
+        )
+
+    @classmethod
+    def create(cls, dataset) -> "SharedDatasetExport":
+        """Export one dataset into fresh named segments."""
+        indptr, indices = dataset.train_csr()
+        token = uuid.uuid4().hex[:12]
+        pid = os.getpid()
+        prefix = segment_prefix(pid, token)
+        segments = _SegmentSet("shm")
+        try:
+            shared_indptr = segments.new(
+                f"{prefix}ds_indptr", indptr.shape, np.int64
+            )
+            shared_indptr[...] = indptr
+            shared_indices = segments.new(
+                f"{prefix}ds_indices", (max(len(indices), 0),), np.int64
+            )
+            shared_indices[...] = indices
+            test_items = np.ascontiguousarray(dataset.test_items, dtype=np.int64)
+            shared_test = segments.new(
+                f"{prefix}ds_test", test_items.shape, np.int64
+            )
+            shared_test[...] = test_items
+        except BaseException:
+            segments.release(unlink=True)
+            raise
+        manifest = {
+            "version": DATASET_MANIFEST_VERSION,
+            "token": token,
+            "pid": pid,
+            "name": dataset.name,
+            "num_users": int(dataset.num_users),
+            "num_items": int(dataset.num_items),
+            "nnz": int(len(indices)),
+            "segments": {
+                "indptr": f"{prefix}ds_indptr",
+                "indices": f"{prefix}ds_indices",
+                "test_items": f"{prefix}ds_test",
+            },
+        }
+        return cls(manifest, segments, dataset, created=True)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedDatasetExport":
+        """Attach an exported dataset; zero-copy reconstruction."""
+        from repro.datasets.base import InteractionDataset
+
+        if manifest.get("version") != DATASET_MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported dataset export version "
+                f"{manifest.get('version')!r}"
+            )
+        if not _pid_alive(int(manifest["pid"])):
+            raise RuntimeError(
+                f"stale dataset export: creator pid {manifest['pid']} is dead"
+            )
+        num_users = int(manifest["num_users"])
+        nnz = int(manifest["nnz"])
+        names = manifest["segments"]
+        segments = _SegmentSet("shm")
+        try:
+            indptr = segments.attach(names["indptr"], (num_users + 1,), np.int64)
+            indices = segments.attach(names["indices"], (nnz,), np.int64)
+            test_items = segments.attach(
+                names["test_items"], (num_users,), np.int64
+            )
+        except BaseException:
+            segments.release(unlink=False)
+            raise
+        dataset = InteractionDataset.from_csr(
+            name=manifest["name"],
+            num_users=num_users,
+            num_items=int(manifest["num_items"]),
+            indptr=indptr,
+            indices=indices,
+            test_items=test_items,
+        )
+        return cls(manifest, segments, dataset, created=False)
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+# ----------------------------------------------------------------------
+# Segment hygiene (consumed by `repro fsck`)
+# ----------------------------------------------------------------------
+
+def list_repro_segments(shm_dir: str = SHM_DIR) -> list[dict]:
+    """Every repro-owned segment visible in ``shm_dir``.
+
+    Foreign names (anything without the ``repro_shm_`` prefix) are
+    never reported, let alone unlinked.  Each record carries the
+    parsed creator pid and whether that process is still alive.
+    """
+    records: list[dict] = []
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:
+        return records
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        parts = name[len(SEGMENT_PREFIX):].split("_", 1)
+        try:
+            pid = int(parts[0])
+        except (ValueError, IndexError):
+            pid = -1
+        try:
+            size = os.path.getsize(os.path.join(shm_dir, name))
+        except OSError:
+            size = 0
+        records.append(
+            {
+                "name": name,
+                "pid": pid,
+                "alive": pid > 0 and _pid_alive(pid),
+                "bytes": size,
+            }
+        )
+    return records
+
+
+def orphaned_segments(shm_dir: str = SHM_DIR) -> list[dict]:
+    """Repro segments whose creator process is dead (safe to unlink)."""
+    return [rec for rec in list_repro_segments(shm_dir) if not rec["alive"]]

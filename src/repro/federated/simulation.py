@@ -53,9 +53,14 @@ from repro.datasets.loaders import load_dataset
 from repro.defenses.registry import build_server_defense, client_regularizer_factory
 from repro.federated.async_engine import AsyncFederationEngine, AsyncStats
 from repro.federated.audit import ServerAuditLog
-from repro.federated.batch_engine import BatchClientEngine
+from repro.federated.batch_engine import BatchClientEngine, ProcessRoundExecutor
 from repro.federated.faults import FaultController, FaultStats
 from repro.federated.server import Server
+from repro.federated.shards import (
+    EmbeddingMatrixView,
+    ShardedStateStore,
+    shared_memory_available,
+)
 from repro.federated.state import ClientStateStore, ClientViewList
 from repro.metrics.ranking import (
     exposure_counts_at_k,
@@ -143,14 +148,38 @@ class FederatedSimulation:
         # (embedding matrix + CSR interactions), initialised
         # bit-identically to the object-per-user draws; the object API
         # stays available through lazily materialised view clients.
-        self.state = ClientStateStore.build(
-            self.dataset.train_pos,
-            self.dataset.num_items,
-            config.model.embedding_dim,
-            seed=config.seed,
-            init_scale=config.model.init_scale,
-            regularizer_factory=regularizer_factory,
-        )
+        # With sharding enabled the store splits into per-shard
+        # shared-memory segments (row u is bit-identical either way —
+        # sharding is a pure throughput/footprint knob).
+        sharding = config.sharding
+        if sharding.enabled:
+            if sharding.shared_memory and not shared_memory_available():
+                raise RuntimeError(
+                    "sharding.shared_memory=True but /dev/shm is not "
+                    "available; set shared_memory=False for the "
+                    "anonymous-mmap backend"
+                )
+            self.state = ShardedStateStore.build(
+                self.dataset.train_pos,
+                self.dataset.num_items,
+                config.model.embedding_dim,
+                seed=config.seed,
+                init_scale=config.model.init_scale,
+                regularizer_factory=regularizer_factory,
+                num_shards=sharding.resolved_shards(self.dataset.num_users),
+                backend="shm" if sharding.shared_memory else "mmap",
+                lr_range=config.train.client_lr_range,
+                config_digest=self._config_digest(),
+            )
+        else:
+            self.state = ClientStateStore.build(
+                self.dataset.train_pos,
+                self.dataset.num_items,
+                config.model.embedding_dim,
+                seed=config.seed,
+                init_scale=config.model.init_scale,
+                regularizer_factory=regularizer_factory,
+            )
         self.benign_clients = ClientViewList(self.state)
 
         num_malicious = num_malicious_for_ratio(
@@ -204,6 +233,36 @@ class FederatedSimulation:
             if engine == "batch" and self.malicious_clients
             else None
         )
+        # Multi-process round executor: benign stacks are computed by
+        # per-shard worker processes reading the shared segments, and
+        # the parent performs the single scatter — bit-identical to the
+        # in-process path.  The combination constraints are rejected
+        # loudly (never silently degraded): the executor needs the
+        # batched wave math and a shared (not copy-on-write) store, and
+        # client-side regularizers are mutable per-user Python objects
+        # that cannot cross the process boundary.
+        if sharding.uses_executor:
+            if engine != "batch":
+                raise ValueError(
+                    "sharding.round_workers >= 2 requires engine='batch' "
+                    "(the loop engine has no multi-process counterpart)"
+                )
+            if config.asynchrony.enabled:
+                raise ValueError(
+                    "sharding.round_workers >= 2 and asynchrony are "
+                    "mutually exclusive: the event loop drives waves "
+                    "in-process"
+                )
+            self.executor = ProcessRoundExecutor(
+                self.model,
+                config.train,
+                config.seed,
+                self.state,
+                sharding.round_workers,
+                kernel_backend=self.kernel_backend,
+            )
+        else:
+            self.executor = None
         self._batch_engine = (
             BatchClientEngine(
                 self.model,
@@ -216,6 +275,7 @@ class FederatedSimulation:
                 cohort=self.malicious_cohort,
                 kernel_backend=self.kernel_backend,
                 fault_controller=self.fault_controller,
+                executor=self.executor,
             )
             if engine == "batch"
             else None
@@ -249,6 +309,26 @@ class FederatedSimulation:
             )
         else:
             self._async_engine = None
+
+    def close(self) -> None:
+        """Release round workers and shared-memory segments.
+
+        Idempotent; a no-op for the dense single-process configuration.
+        Segments are also reclaimed by a store finalizer at garbage
+        collection, but long-lived processes building many simulations
+        should close explicitly.
+        """
+        if self.executor is not None:
+            self.executor.close()
+        closer = getattr(self.state, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Target selection
@@ -438,10 +518,15 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
 
     def _config_digest(self) -> str:
-        """Content hash binding a checkpoint to its experiment config."""
-        blob = json.dumps(
-            dataclasses.asdict(self.config), sort_keys=True, default=str
-        )
+        """Content hash binding a checkpoint to its experiment config.
+
+        ``sharding`` is excluded: it is a pure throughput knob with no
+        effect on the trajectory, so checkpoints cross-resume between
+        dense and sharded (and single- and multi-process) runs.
+        """
+        record = dataclasses.asdict(self.config)
+        record.pop("sharding", None)
+        blob = json.dumps(record, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def checkpoint_payload(
@@ -471,7 +556,7 @@ class FederatedSimulation:
             "targets": self.targets.copy(),
             "model_items": self.model.item_embeddings.copy(),
             "model_params": [p.copy() for p in self.model.interaction_params()],
-            "user_embeddings": self.state.user_embeddings.copy(),
+            "user_embeddings": self.state.snapshot_embeddings(),
             "regularizers": self.state._regularizers,
             "adversary": (self.malicious_clients, self.malicious_cohort),
             # The server's log is the authoritative one: it is the
@@ -489,6 +574,7 @@ class FederatedSimulation:
                 "stacked_rounds": engine.stacked_rounds,
                 "object_malicious_rounds": engine.object_malicious_rounds,
                 "kernel_fallback_rounds": engine.kernel_fallback_rounds,
+                "process_rounds": engine.process_rounds,
             }
             if engine is not None
             else None,
@@ -537,7 +623,7 @@ class FederatedSimulation:
             self.model.interaction_params(), payload["model_params"]
         ):
             param[...] = saved
-        self.state.user_embeddings[...] = payload["user_embeddings"]
+        self.state.load_embeddings(payload["user_embeddings"])
         self.state._regularizers = payload["regularizers"]
         clients, cohort = payload["adversary"]
         self.malicious_clients = clients
@@ -595,15 +681,21 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
 
     def user_embedding_matrix(self) -> np.ndarray:
-        """All benign users' private embeddings — a zero-copy store view.
+        """All benign users' private embeddings, as one read-only matrix.
 
-        Row ``u`` *is* user ``u``'s live embedding and keeps evolving
-        as training continues; ``.copy()`` the result to snapshot
-        (e.g. for before/after drift comparisons). The view is
-        read-only so stale callers cannot corrupt client state by
-        writing into what used to be a private stack copy.
+        For the dense store this is a zero-copy live view: row ``u``
+        *is* user ``u``'s embedding and keeps evolving as training
+        continues (``.copy()`` to snapshot).  For a sharded store the
+        rows live in per-shard segments, so this returns a read-only
+        snapshot assembled at call time.  Either way the result is
+        read-only so stale callers cannot corrupt client state.
         """
-        view = self.state.user_embeddings.view()
+        matrix = getattr(self.state, "user_embeddings", None)
+        if matrix is None:
+            snapshot = self.state.snapshot_embeddings()
+            snapshot.flags.writeable = False
+            return snapshot
+        view = matrix.view()
         view.flags.writeable = False
         return view
 
@@ -644,8 +736,14 @@ class FederatedSimulation:
         er_eligible = np.zeros(len(self.targets), dtype=np.int64)
         hr_hits = 0
         hr_total = 0
+        user_matrix = getattr(self.state, "user_embeddings", None)
+        if user_matrix is None:
+            # Sharded store: stream blocks straight out of the shard
+            # segments (same rows, same block boundaries — scores are
+            # bit-identical to the dense pass).
+            user_matrix = EmbeddingMatrixView(self.state)
         for lo, hi, scores in self.model.score_blocks(
-            self.state.user_embeddings, self._eval_block_users()
+            user_matrix, self._eval_block_users()
         ):
             train_mask = self.state.train_mask_block(lo, hi)
             hits, eligible = exposure_counts_at_k(

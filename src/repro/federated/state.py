@@ -46,7 +46,21 @@ import numpy as np
 
 from repro.rng import spawn_first_uniform, spawn_normal_rows
 
-__all__ = ["ClientStateStore", "ClientViewList"]
+__all__ = ["ClientStateStore", "ClientViewList", "row_composite_indices"]
+
+
+def row_composite_indices(user_ids: np.ndarray, dim: int) -> np.ndarray:
+    """Flat indices of users' embedding rows in the C-order matrix.
+
+    ``user_ids`` may arrive as int32 (e.g. from ``np.unique`` on 32-bit
+    inputs); the product ``user_id * dim`` overflows int32 as soon as
+    ``num_users * dim > 2**31`` (~33M users at dim 64), so the ids are
+    upcast to int64 *before* the multiply — the same class of bug as
+    the ``scatter_sum`` int32 overflow fixed for the item axis.
+    """
+    ids = np.asarray(user_ids).astype(np.int64, copy=False)
+    offsets = np.arange(dim, dtype=np.int64)
+    return (ids[:, None] * np.int64(dim) + offsets).reshape(-1)
 
 
 class ClientStateStore:
@@ -109,16 +123,26 @@ class ClientStateStore:
             embedding_dim,
             scale=init_scale,
         )
-        lengths = np.fromiter(
-            (len(items) for items in train_pos), dtype=np.int64, count=num_users
-        )
-        indptr = np.zeros(num_users + 1, dtype=np.int64)
-        np.cumsum(lengths, out=indptr[1:])
-        indices = (
-            np.ascontiguousarray(np.concatenate(train_pos), dtype=np.int64)
-            if num_users
-            else np.empty(0, dtype=np.int64)
-        )
+        if hasattr(train_pos, "csr_arrays"):
+            # CSR-backed ragged facade (shared-memory attach path):
+            # adopt its arrays directly instead of re-concatenating a
+            # million per-user slices.
+            indptr, indices = train_pos.csr_arrays()
+            indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+            indices = np.ascontiguousarray(indices, dtype=np.int64)
+        else:
+            lengths = np.fromiter(
+                (len(items) for items in train_pos),
+                dtype=np.int64,
+                count=num_users,
+            )
+            indptr = np.zeros(num_users + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            indices = (
+                np.ascontiguousarray(np.concatenate(train_pos), dtype=np.int64)
+                if num_users
+                else np.empty(0, dtype=np.int64)
+            )
         return cls(
             embeddings,
             indptr,
@@ -139,6 +163,69 @@ class ClientStateStore:
     @property
     def embedding_dim(self) -> int:
         return self.user_embeddings.shape[1]
+
+    # ------------------------------------------------------------------
+    # Embedding access API
+    #
+    # Every reader/writer of user embeddings outside this module goes
+    # through these methods (the batch engine, BenignClient views,
+    # streaming eval, checkpoints) so a sharded store can implement the
+    # same surface without ever materialising one dense matrix.
+    # ------------------------------------------------------------------
+
+    def gather_rows(self, user_ids: np.ndarray) -> np.ndarray:
+        """Copy of the users' embedding rows, in ``user_ids`` order.
+
+        Implemented as a flat ``np.take`` over int64 composite indices
+        (see :func:`row_composite_indices` for why the upcast matters);
+        the gathered *values* are identical to fancy row indexing.
+        """
+        matrix = self.user_embeddings
+        if not matrix.flags.c_contiguous:
+            return matrix[np.asarray(user_ids)]
+        flat = row_composite_indices(user_ids, matrix.shape[1])
+        return np.take(matrix.reshape(-1), flat).reshape(
+            len(user_ids), matrix.shape[1]
+        )
+
+    def scatter_rows(self, user_ids: np.ndarray, rows: np.ndarray) -> None:
+        """Write one row per user id (ids must be distinct)."""
+        matrix = self.user_embeddings
+        if not matrix.flags.c_contiguous:
+            matrix[np.asarray(user_ids)] = rows
+            return
+        flat = row_composite_indices(user_ids, matrix.shape[1])
+        matrix.reshape(-1)[flat] = np.ascontiguousarray(rows).reshape(-1)
+
+    def row(self, user_id: int) -> np.ndarray:
+        """One user's embedding row (a live view for the dense store)."""
+        return self.user_embeddings[user_id]
+
+    def set_row(self, user_id: int, value: np.ndarray) -> None:
+        """Overwrite one user's embedding row."""
+        self.user_embeddings[user_id] = value
+
+    def embedding_block(self, lo: int, hi: int) -> np.ndarray:
+        """Users ``[lo, hi)`` as a ``(hi - lo, dim)`` matrix.
+
+        Zero-copy for the dense store; the sharded store copies only
+        when the block straddles a shard boundary.  Streaming eval
+        walks the population through this accessor.
+        """
+        return self.user_embeddings[lo:hi]
+
+    def snapshot_embeddings(self) -> np.ndarray:
+        """Dense copy of the full embedding matrix (checkpoints)."""
+        return np.ascontiguousarray(self.user_embeddings).copy()
+
+    def load_embeddings(self, matrix: np.ndarray) -> None:
+        """Restore the full embedding matrix from a checkpoint copy."""
+        if matrix.shape != (self.num_users, self.embedding_dim):
+            raise ValueError(
+                f"embedding snapshot shape {matrix.shape} does not match "
+                f"store ({self.num_users}, {self.embedding_dim})"
+            )
+        self.user_embeddings[...] = matrix
 
     def positives(self, user_id: int) -> np.ndarray:
         """User's positive items — a zero-copy CSR slice."""
@@ -199,6 +286,17 @@ class ClientStateStore:
             )
             self._client_lr_cache = ((low, high), np.exp(draws))
         return self._client_lr_cache[1]
+
+    def client_lrs_for(
+        self, lr_range: tuple[float, float], user_ids: np.ndarray
+    ) -> np.ndarray:
+        """The given users' fixed learning rates, in ``user_ids`` order.
+
+        The subset accessor the engines use: a sharded store can serve
+        it from per-shard segments without ever holding the full
+        ``(num_users,)`` vector in one process.
+        """
+        return self.client_lrs(lr_range)[np.asarray(user_ids)]
 
     # ------------------------------------------------------------------
     # Defense regularizers (inherently per-user mutable state)

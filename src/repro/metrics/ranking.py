@@ -120,6 +120,12 @@ def sample_eval_negatives(
     therefore bit-identical negatives, at a fraction of the set-up
     cost on production user counts.
     """
+    if num_negatives <= 0:
+        # HR evaluation disabled (million-user throughput runs): skip
+        # spawning a per-user RNG for every user.  One shared empty
+        # array keeps the per-user list O(pointers).
+        empty = np.empty(0, dtype=np.int64)
+        return [empty] * dataset.num_users
     negatives: list[np.ndarray] = []
     rngs = spawn_batch(seed, ("eval-neg",), np.arange(dataset.num_users))
     excluded = np.zeros(dataset.num_items, dtype=bool)  # shared scratch buffer

@@ -1,0 +1,379 @@
+"""Multi-process round executor: the bit-identity contract at scale.
+
+The contract: routing benign round computation through
+:class:`~repro.federated.batch_engine.ProcessRoundExecutor` (forked
+workers, each attached to its shards of the shared-memory store) is a
+pure throughput knob — every trajectory is bit-identical to the dense
+single-process reference, across attacks x defenses x models x kernel
+backends, through worker crashes, and across checkpoint/resume in
+either direction (dense checkpoint resumed sharded and vice versa).
+
+Also here: the combinations the executor must reject *loudly* instead
+of silently degrading — too few workers, a dense store, client-side
+regularization, the loop engine, asynchrony.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.config import (
+    AsyncConfig,
+    AttackConfig,
+    DatasetConfig,
+    DefenseConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ShardingConfig,
+    TrainConfig,
+)
+from repro.federated.batch_engine import ProcessRoundExecutor
+from repro.federated.shards import (
+    ShardedStateStore,
+    list_repro_segments,
+    shared_memory_available,
+)
+from repro.federated.simulation import FederatedSimulation
+from repro.federated.state import ClientStateStore
+from repro.kernels import NativeKernelsUnavailable
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="/dev/shm not available"
+)
+
+try:
+    NATIVE = kernels.resolve("native")
+    NATIVE_ERROR = None
+except NativeKernelsUnavailable as exc:  # pragma: no cover - CI has a toolchain
+    NATIVE = None
+    NATIVE_ERROR = str(exc)
+
+needs_native = pytest.mark.skipif(
+    NATIVE is None, reason=f"native backend unavailable: {NATIVE_ERROR}"
+)
+
+KERNEL_BACKENDS = ["numpy"] + (["native"] if NATIVE is not None else [])
+
+SHARDED = ShardingConfig(num_shards=4, round_workers=2)
+
+
+def sweep_config(
+    *,
+    kind: str = "mf",
+    attack: str = "pieck_uea",
+    defense: str = "norm_bound",
+    sharding: ShardingConfig = ShardingConfig(),
+    kernel: str = "numpy",
+    lr_range: tuple[float, float] | None = None,
+    rounds: int = 6,
+    asynchrony: AsyncConfig = AsyncConfig(),
+) -> ExperimentConfig:
+    """Seconds-scale config still exercising mining, poison, defense."""
+    return ExperimentConfig(
+        dataset=DatasetConfig(name="custom", scale=0.08, seed=11),
+        model=ModelConfig(kind=kind, embedding_dim=6, mlp_layers=(8,), seed=11),
+        train=TrainConfig(
+            rounds=rounds,
+            users_per_round=12,
+            lr=0.5 if kind == "mf" else 0.05,
+            eval_every=0,
+            kernels=kernel,
+            client_lr_range=lr_range,
+        ),
+        attack=(
+            AttackConfig(name=attack, malicious_ratio=0.15, mining_rounds=2)
+            if attack != "none"
+            else None
+        ),
+        defense=DefenseConfig(name=defense, assumed_malicious_ratio=0.15),
+        sharding=sharding,
+        asynchrony=asynchrony,
+        seed=11,
+    )
+
+
+def run_sim(config: ExperimentConfig, *, kill_worker_at: int | None = None):
+    """Run every round; returns the final-state dict for comparison."""
+    with FederatedSimulation(config) as sim:
+        for round_idx in range(config.train.rounds):
+            if round_idx == kill_worker_at:
+                victim = sim.executor._pool[0].process
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join()
+            sim.run_round(round_idx)
+        return {
+            "items": sim.model.item_embeddings.copy(),
+            "users": sim.user_embedding_matrix().copy(),
+            "params": [p.copy() for p in sim.model.interaction_params()],
+            "process_rounds": (
+                sim._batch_engine.process_rounds if sim.executor else 0
+            ),
+            "respawns": sim.executor.respawns if sim.executor else 0,
+        }
+
+
+def assert_identical(a: dict, b: dict) -> None:
+    assert a["items"].tobytes() == b["items"].tobytes()
+    assert a["users"].tobytes() == b["users"].tobytes()
+    for pa, pb in zip(a["params"], b["params"]):
+        assert pa.tobytes() == pb.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Single- vs multi-process parity
+# ----------------------------------------------------------------------
+
+
+class TestExecutorParity:
+    def test_fast_leg_with_client_lr_range(self):
+        """The everyday leg: attack + defense + per-client rates."""
+        dense = run_sim(sweep_config(lr_range=(0.05, 0.5)))
+        multi = run_sim(
+            sweep_config(lr_range=(0.05, 0.5), sharding=SHARDED)
+        )
+        assert multi["process_rounds"] == 6, "a round fell back in-process"
+        assert multi["respawns"] == 0
+        assert_identical(dense, multi)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kernel", KERNEL_BACKENDS)
+    @pytest.mark.parametrize("kind", ["mf", "ncf"])
+    @pytest.mark.parametrize("defense", ["none", "norm_bound", "median", "krum"])
+    @pytest.mark.parametrize("attack", ["none", "pieck_uea", "pieck_ipe"])
+    def test_cross_product_parity(self, attack, defense, kind, kernel):
+        dense = run_sim(
+            sweep_config(kind=kind, attack=attack, defense=defense, kernel=kernel)
+        )
+        multi = run_sim(
+            sweep_config(
+                kind=kind,
+                attack=attack,
+                defense=defense,
+                kernel=kernel,
+                sharding=SHARDED,
+            )
+        )
+        assert multi["process_rounds"] == 6
+        assert_identical(dense, multi)
+
+    def test_mmap_backend_parity(self):
+        """shared_memory=False: fork-inherited anonymous mappings."""
+        dense = run_sim(sweep_config())
+        multi = run_sim(
+            sweep_config(
+                sharding=ShardingConfig(
+                    num_shards=4, round_workers=2, shared_memory=False
+                )
+            )
+        )
+        assert multi["process_rounds"] == 6
+        assert_identical(dense, multi)
+
+    def test_sharded_single_process_parity(self):
+        """Sharding without workers: pure store re-layout."""
+        dense = run_sim(sweep_config())
+        sharded = run_sim(
+            sweep_config(sharding=ShardingConfig(num_shards=3))
+        )
+        assert sharded["process_rounds"] == 0
+        assert_identical(dense, sharded)
+
+    def test_no_segments_leak_after_close(self):
+        before = {r["name"] for r in list_repro_segments()}
+        run_sim(sweep_config(sharding=SHARDED, rounds=2))
+        after = {r["name"] for r in list_repro_segments()}
+        assert after - before == set()
+
+
+# ----------------------------------------------------------------------
+# Chaos: a SIGKILLed worker must not change the trajectory
+# ----------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_killed_worker_respawns_bit_identical(self):
+        dense = run_sim(sweep_config())
+        chaos = run_sim(sweep_config(sharding=SHARDED), kill_worker_at=3)
+        assert chaos["respawns"] >= 1, "SIGKILL was absorbed silently"
+        assert chaos["process_rounds"] == 6
+        assert_identical(dense, chaos)
+
+
+# ----------------------------------------------------------------------
+# Loud rejections — never a silent fallback
+# ----------------------------------------------------------------------
+
+
+class TestGuards:
+    def _sharded_store(self, sim_cfg=None, **store_kwargs):
+        cfg = sim_cfg or sweep_config()
+        from repro.datasets.loaders import load_dataset
+
+        dataset = load_dataset(cfg.dataset)
+        return dataset, ShardedStateStore.build(
+            dataset.train_pos, dataset.num_items, 6, seed=11,
+            num_shards=4, **store_kwargs,
+        )
+
+    def test_single_worker_rejected(self):
+        with FederatedSimulation(sweep_config(sharding=SHARDED)) as sim:
+            with pytest.raises(ValueError, match="num_workers"):
+                ProcessRoundExecutor(
+                    sim.model, sim.config.train, 11, sim.state, 1
+                )
+
+    def test_dense_store_rejected(self):
+        cfg = sweep_config()
+        with FederatedSimulation(cfg) as sim:
+            assert isinstance(sim.state, ClientStateStore)
+            with pytest.raises(ValueError, match="dense"):
+                ProcessRoundExecutor(sim.model, cfg.train, 11, sim.state, 2)
+
+    def test_regularized_store_rejected(self):
+        cfg = sweep_config()
+        dataset, store = self._sharded_store(
+            cfg, regularizer_factory=lambda: object()
+        )
+        try:
+            with FederatedSimulation(cfg, dataset) as sim:
+                with pytest.raises(ValueError, match="regulariz"):
+                    ProcessRoundExecutor(sim.model, cfg.train, 11, store, 2)
+        finally:
+            store.close()
+
+    def test_regularization_defense_rejected_at_simulation(self):
+        with pytest.raises(ValueError, match="regulariz"):
+            FederatedSimulation(
+                sweep_config(defense="regularization", sharding=SHARDED)
+            )
+
+    def test_loop_engine_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            FederatedSimulation(
+                sweep_config(sharding=SHARDED), engine="loop"
+            )
+
+    def test_asynchrony_rejected(self):
+        with pytest.raises(ValueError, match="asynchrony"):
+            FederatedSimulation(
+                sweep_config(
+                    sharding=SHARDED, asynchrony=AsyncConfig(enabled=True)
+                )
+            )
+
+    def test_workers_capped_at_shard_count(self):
+        cfg = sweep_config(
+            sharding=ShardingConfig(num_shards=2, round_workers=8)
+        )
+        with FederatedSimulation(cfg) as sim:
+            assert sim.executor.num_workers == 2
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume bit-identity with the sharded store
+# ----------------------------------------------------------------------
+
+
+def _final_state(sim: FederatedSimulation, result) -> dict:
+    return {
+        "exposure": result.exposure,
+        "hit_ratio": result.hit_ratio,
+        "rounds_run": result.rounds_run,
+        "items": sim.model.item_embeddings.copy(),
+        "users": sim.user_embedding_matrix().copy(),
+        "params": [p.copy() for p in sim.model.interaction_params()],
+        "history": result.history,
+    }
+
+
+def _assert_final_identical(a: dict, b: dict) -> None:
+    assert a["exposure"] == b["exposure"]
+    assert a["hit_ratio"] == b["hit_ratio"]
+    assert a["rounds_run"] == b["rounds_run"]
+    assert a["items"].tobytes() == b["items"].tobytes()
+    assert a["users"].tobytes() == b["users"].tobytes()
+    for pa, pb in zip(a["params"], b["params"]):
+        assert pa.tobytes() == pb.tobytes()
+    assert a["history"] == b["history"]
+
+
+class TestCheckpointBitIdentity:
+    def _reference(self, cfg):
+        with FederatedSimulation(cfg) as sim:
+            return _final_state(sim, sim.run())
+
+    @pytest.mark.parametrize("stop_after", [2, 3, 5])
+    def test_resume_at_every_boundary(self, tmp_path, stop_after):
+        cfg = sweep_config(rounds=6, sharding=SHARDED)
+        ref = self._reference(sweep_config(rounds=6))
+        ckpt_dir = str(tmp_path / f"ckpt-{stop_after}")
+        with FederatedSimulation(cfg) as first:
+            first.run(
+                rounds=stop_after, checkpoint_dir=ckpt_dir, checkpoint_every=1
+            )
+        with FederatedSimulation(cfg) as resumed:
+            result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=1)
+            state = _final_state(resumed, result)
+        _assert_final_identical(state, ref)
+
+    def test_dense_checkpoint_resumes_sharded(self, tmp_path):
+        """The digest excludes sharding: cross-restore must work."""
+        ref = self._reference(sweep_config(rounds=6))
+        ckpt_dir = str(tmp_path / "ckpt")
+        with FederatedSimulation(sweep_config(rounds=6)) as dense_first:
+            dense_first.run(
+                rounds=3, checkpoint_dir=ckpt_dir, checkpoint_every=3
+            )
+        cfg = sweep_config(rounds=6, sharding=SHARDED)
+        with FederatedSimulation(cfg) as resumed:
+            result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=3)
+            state = _final_state(resumed, result)
+        _assert_final_identical(state, ref)
+
+    def test_sharded_checkpoint_resumes_dense(self, tmp_path):
+        ref = self._reference(sweep_config(rounds=6))
+        ckpt_dir = str(tmp_path / "ckpt")
+        cfg = sweep_config(rounds=6, sharding=SHARDED)
+        with FederatedSimulation(cfg) as sharded_first:
+            sharded_first.run(
+                rounds=3, checkpoint_dir=ckpt_dir, checkpoint_every=3
+            )
+        with FederatedSimulation(sweep_config(rounds=6)) as resumed:
+            result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=3)
+            state = _final_state(resumed, result)
+        _assert_final_identical(state, ref)
+
+    def test_config_digest_ignores_sharding(self):
+        dense_cfg = sweep_config()
+        sharded_cfg = sweep_config(sharding=SHARDED)
+        with FederatedSimulation(dense_cfg) as dense:
+            with FederatedSimulation(sharded_cfg) as sharded:
+                assert dense._config_digest() == sharded._config_digest()
+
+    def test_process_rounds_counter_survives_resume(self, tmp_path):
+        cfg = sweep_config(rounds=6, sharding=SHARDED)
+        ckpt_dir = str(tmp_path / "ckpt")
+        with FederatedSimulation(cfg) as first:
+            first.run(rounds=3, checkpoint_dir=ckpt_dir, checkpoint_every=3)
+            assert first._batch_engine.process_rounds == 3
+        with FederatedSimulation(cfg) as resumed:
+            resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=3)
+            assert resumed._batch_engine.process_rounds == 6
+
+    @needs_native
+    def test_native_kernel_resume_sharded(self, tmp_path):
+        cfg = sweep_config(rounds=6, kernel="native", sharding=SHARDED)
+        ref = self._reference(sweep_config(rounds=6, kernel="native"))
+        ckpt_dir = str(tmp_path / "ckpt")
+        with FederatedSimulation(cfg) as first:
+            first.run(rounds=4, checkpoint_dir=ckpt_dir, checkpoint_every=2)
+        with FederatedSimulation(cfg) as resumed:
+            result = resumed.run(checkpoint_dir=ckpt_dir, checkpoint_every=2)
+            state = _final_state(resumed, result)
+        _assert_final_identical(state, ref)
